@@ -1,0 +1,51 @@
+"""Ablation — the workload-aware penalty exponent alpha.
+
+Section 5.1.1 motivates alpha = 0.5 as the balance/min-cost trade-off
+between the classical greedy (alpha = 1) and pure cost minimisation
+(alpha = 0).  This sweep runs the whole [0, 1] range on the skewed PG2
+workload and records makespan and imbalance.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, load_dataset
+from repro.core import PSgL
+from repro.pattern import square
+
+ALPHAS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def _sweep(scale):
+    graph = load_dataset("wikitalk", scale)
+    rows = {}
+    for alpha in ALPHAS:
+        result = PSgL(
+            graph, num_workers=16, strategy="workload-aware", alpha=alpha, seed=7
+        ).run(square())
+        costs = result.worker_costs
+        rows[alpha] = {
+            "makespan": result.makespan,
+            "imbalance": max(costs) / (sum(costs) / len(costs)),
+            "count": result.count,
+        }
+    return rows
+
+
+def test_ablation_alpha_sweep(benchmark, bench_scale, save_report):
+    rows = run_once(benchmark, _sweep, bench_scale)
+
+    table = format_table(
+        ["alpha", "makespan", "imbalance"],
+        [[a, round(r["makespan"]), round(r["imbalance"], 2)] for a, r in rows.items()],
+        title="workload-aware alpha sweep, PG2 on wikitalk",
+    )
+    print()
+    print(table)
+
+    # all alphas agree on the answer
+    assert len({r["count"] for r in rows.values()}) == 1
+    # the balanced end must beat the pure-min-cost end on makespan
+    best_balanced = min(rows[0.5]["makespan"], rows[1.0]["makespan"])
+    assert best_balanced < rows[0.0]["makespan"]
+    # and alpha >= 0.5 keeps workers visibly flatter than alpha = 0
+    assert min(rows[0.5]["imbalance"], rows[1.0]["imbalance"]) < rows[0.0]["imbalance"]

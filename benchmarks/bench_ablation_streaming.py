@@ -1,0 +1,63 @@
+"""Ablation — exact listing vs the streaming related work.
+
+Section 2's streaming family trades exactness (and the instances
+themselves) for speed.  This bench quantifies that trade on triangle
+counting: the estimators are far cheaper in simulated work but only
+approximate, and the wedge estimator tightens with the sample budget.
+"""
+
+from conftest import run_once
+
+from repro.baselines import (
+    count_triangles,
+    edge_sampling_triangles,
+    wedge_sampling_triangles,
+)
+from repro.bench import format_table, load_dataset
+from repro.core import PSgL
+from repro.pattern import triangle
+
+
+def _sweep(scale):
+    graph = load_dataset("wikipedia", scale)
+    truth = count_triangles(graph)
+    exact = PSgL(graph, num_workers=16, seed=7).run(triangle())
+    assert exact.count == truth
+    rows = {"psgl-exact": {"estimate": float(exact.count), "work": exact.makespan}}
+    for samples in [1_000, 10_000, 50_000]:
+        est = wedge_sampling_triangles(graph, samples=samples, seed=7)
+        rows[f"wedge-{samples}"] = {"estimate": est.estimate, "work": est.work}
+    est = edge_sampling_triangles(graph, p=0.2, seed=7)
+    rows["edge-p0.2"] = {"estimate": est.estimate, "work": est.work}
+    return truth, rows
+
+
+def test_ablation_streaming_tradeoff(benchmark, bench_scale, save_report):
+    truth, rows = run_once(benchmark, _sweep, bench_scale)
+
+    def err(r):
+        return abs(r["estimate"] - truth) / truth if truth else 0.0
+
+    print()
+    print(
+        format_table(
+            ["method", "estimate", "rel. error", "work"],
+            [
+                [name, round(r["estimate"]), f"{err(r) * 100:.1f}%", round(r["work"])]
+                for name, r in rows.items()
+            ],
+            title=f"triangles on wikipedia analog (truth = {truth})",
+        )
+    )
+
+    # exact method is exact
+    assert err(rows["psgl-exact"]) == 0.0
+    # a small sample budget is far cheaper than exact listing, and the
+    # estimator's cost is set by the budget, not the graph (the streaming
+    # family's whole selling point)
+    assert rows["wedge-1000"]["work"] < rows["psgl-exact"]["work"] / 3
+    assert rows["wedge-1000"]["work"] == 1000
+    # accuracy is decent at a healthy budget
+    assert err(rows["wedge-50000"]) < 0.2
+    # more samples should not hurt accuracy by much (allow noise floor)
+    assert err(rows["wedge-50000"]) <= err(rows["wedge-1000"]) + 0.05

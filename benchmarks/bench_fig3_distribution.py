@@ -1,0 +1,35 @@
+"""Figure 3 — distribution strategies across four panels.
+
+Paper shape: the workload-aware strategies beat random/roulette on the
+PG2 panels, the gap tracks skew, and the clique panel is flat because
+only the first iteration creates Gpsis.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_experiment
+
+
+def test_fig3_distribution_strategies(benchmark, bench_scale, save_report):
+    report = run_once(benchmark, run_experiment, "fig3", scale=bench_scale)
+    save_report(report)
+    panels = report.data["panels"]
+
+    for label, spans in panels.items():
+        best_wa = min(spans["WA,0.5"], spans["WA,1"])
+        if "PG4" in label:
+            # clique panel: every strategy within a few percent
+            assert max(spans.values()) / min(spans.values()) < 1.10, label
+        else:
+            # PG2 panels: workload-aware clearly beats the naive pair
+            assert best_wa < spans["random"], label
+            assert best_wa < spans["roulette"], label
+            # and (WA,0.5) is never far from the front
+            assert spans["WA,0.5"] <= 1.35 * best_wa, label
+
+    # skew sensitivity: the wikitalk gain over random exceeds uspatent's
+    def gain(label):
+        spans = panels[label]
+        return spans["random"] / min(spans["WA,0.5"], spans["WA,1"])
+
+    assert gain("(b) PG2 on wikitalk") > 1.15

@@ -1,0 +1,21 @@
+"""Figure 4 — pattern catalog and automorphism-breaking orders."""
+
+from conftest import run_once
+
+from repro.bench import run_experiment
+
+
+def test_fig4_pattern_catalog(benchmark, bench_scale, save_report):
+    report = run_once(benchmark, run_experiment, "fig4", scale=bench_scale)
+    save_report(report)
+    rows = {r[0]: r for r in report.data["rows"]}
+    # |Aut| per Figure 4's shapes
+    assert rows["PG1"][3] == 6
+    assert rows["PG2"][3] == 8
+    assert rows["PG3"][3] == 4
+    assert rows["PG4"][3] == 24
+    assert rows["PG5"][3] == 2
+    # the breaker reproduces the printed orders and kills all symmetry
+    for name, row in rows.items():
+        assert row[5] == "yes", name
+        assert row[6] == 1, name

@@ -1,0 +1,28 @@
+"""Figure 5 — per-worker load profile for PG2 on WikiTalk.
+
+Paper shape: (WA,0.5)/(WA,1) balance the workers; random, roulette and
+(WA,0) each leave a straggler well above the mean.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_experiment
+
+
+def test_fig5_worker_balance(benchmark, bench_scale, save_report):
+    report = run_once(benchmark, run_experiment, "fig5", scale=bench_scale)
+    save_report(report)
+    per_worker = report.data["per_worker"]
+
+    def imbalance(strategy):
+        costs = per_worker[strategy]
+        return max(costs) / (sum(costs) / len(costs))
+
+    # the balanced strategies stay clearly flatter than the naive ones
+    assert imbalance("WA,0.5") < imbalance("random")
+    assert imbalance("WA,0.5") < imbalance("roulette")
+    assert imbalance("WA,1") < imbalance("random")
+    # (WA,0) minimises per-choice cost but leaves a straggler
+    assert imbalance("WA,0") > imbalance("WA,1")
+    # and the balanced strategies also cut the slowest worker down
+    assert max(per_worker["WA,0.5"]) < max(per_worker["random"])

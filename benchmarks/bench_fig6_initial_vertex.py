@@ -1,0 +1,48 @@
+"""Figure 6 — influence of the initial pattern vertex.
+
+Paper shape: on power-law analogs a bad initial vertex is many times
+slower (or OOMs — the paper stops plotting past 100x); on the random
+graph the choice barely matters.  The cost model must pick a vertex close
+to the empirically best one.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_experiment
+
+
+def test_fig6_initial_vertex(benchmark, bench_scale, save_report):
+    report = run_once(benchmark, run_experiment, "fig6", scale=bench_scale)
+    save_report(report)
+
+    def worst_ratio(key):
+        ratios = report.data[key]["ratios"].values()
+        finite = [r for r in ratios if r != float("inf")]
+        has_oom = any(r == float("inf") for r in ratios)
+        return (max(finite), has_oom)
+
+    # skewed panels: a visibly bad vertex exists (ratio or outright OOM),
+    # and the clique panels show the dramatic gaps the paper reports
+    for key in ["a/PG1", "a/PG4", "b/PG2", "b/PG4", "c/PG1", "c/PG4"]:
+        worst, has_oom = worst_ratio(key)
+        assert has_oom or worst > 1.4, (key, worst)
+    for key in ["a/PG4", "b/PG4", "c/PG4"]:
+        worst, has_oom = worst_ratio(key)
+        assert has_oom or worst > 5.0, (key, worst)
+
+    # random-graph panels: mild (paper: ~1.0-1.6x; mini-scale adds noise)
+    for key in ["d/PG1", "d/PG2"]:
+        worst, has_oom = worst_ratio(key)
+        assert not has_oom and worst < 5.0, (key, worst)
+
+    # skew sensitivity: every skewed clique panel beats the random ones
+    rand_worst = max(worst_ratio("d/PG1")[0], worst_ratio("d/PG2")[0])
+    for key in ["a/PG4", "b/PG4", "c/PG4"]:
+        worst, has_oom = worst_ratio(key)
+        assert has_oom or worst > rand_worst, key
+
+    # the selector's choice is never a disaster
+    for key, info in report.data.items():
+        chosen = info["selected"]
+        ratio = info["ratios"][f"v{chosen + 1}"]
+        assert ratio != float("inf") and ratio < 3.0, (key, ratio)

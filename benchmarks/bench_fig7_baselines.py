@@ -1,0 +1,38 @@
+"""Figure 7 — runtime ratio of PSgL vs Afrati vs SGIA-MR.
+
+Paper shape: PSgL wins essentially everywhere (~90% average gain, i.e.
+ratios well above 1), with the biggest margins on skewed graphs; the two
+MapReduce baselines trade places across datasets.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_experiment
+
+
+def test_fig7_mapreduce_baselines(benchmark, bench_scale, save_report):
+    report = run_once(benchmark, run_experiment, "fig7", scale=bench_scale)
+    save_report(report)
+    data = report.data
+
+    wins = 0
+    for key, spans in data.items():
+        if spans["afrati"] > spans["psgl"]:
+            wins += 1
+        if spans["sgia_mr"] > spans["psgl"]:
+            wins += 1
+    # PSgL must beat the baselines in the overwhelming majority of cells
+    assert wins >= 1.6 * len(data), (wins, len(data))
+
+    # average gain: cells where PSgL wins should do so by a wide margin
+    ratios = [
+        max(spans["afrati"], spans["sgia_mr"]) / spans["psgl"]
+        for spans in data.values()
+    ]
+    assert sum(r > 2.0 for r in ratios) >= len(ratios) * 0.6
+
+    # the baselines interleave: neither dominates the other everywhere
+    afrati_better = sum(
+        1 for s in data.values() if s["afrati"] < s["sgia_mr"]
+    )
+    assert 0 < afrati_better < len(data)

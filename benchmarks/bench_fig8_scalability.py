@@ -1,0 +1,25 @@
+"""Figure 8 — scalability with the number of workers.
+
+Paper shape: runtime drops close to linearly from 10 to 80 workers,
+flattening slightly at the high end.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_experiment
+
+
+def test_fig8_worker_scalability(benchmark, bench_scale, save_report):
+    report = run_once(benchmark, run_experiment, "fig8", scale=bench_scale)
+    save_report(report)
+    real = report.data["real"]
+
+    # runtime must decrease monotonically-ish across the sweep
+    assert real[80] < real[40] < real[10]
+    # doubling 10 -> 20 must give a solid chunk of the ideal 2x
+    assert real[10] / real[20] > 1.4
+    # overall speedup from 10 to 80 workers is substantial
+    assert real[10] / real[80] > 2.5
+    # but sub-ideal at the high end (the paper's flattening)
+    ideal_80 = real[10] * 10 / 80
+    assert real[80] > ideal_80

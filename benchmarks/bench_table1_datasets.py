@@ -1,0 +1,21 @@
+"""Table 1 — dataset meta data (analog registry)."""
+
+from conftest import run_once
+
+from repro.bench import run_experiment
+
+
+def test_table1_dataset_registry(benchmark, bench_scale, save_report):
+    report = run_once(benchmark, run_experiment, "table1", scale=bench_scale)
+    save_report(report)
+    rows = report.data["rows"]
+    assert len(rows) == 7
+    by_name = {r["name"]: r for r in rows}
+    # WikiTalk must stay the most hub-skewed of the Figure 3 datasets
+    # relative to its density, UsPatent the least.
+    def hubbiness(r):
+        return r["max_degree"] / (2 * r["edges"] / r["vertices"])
+
+    assert hubbiness(by_name["wikitalk"]) > hubbiness(by_name["webgoogle"])
+    assert hubbiness(by_name["webgoogle"]) > hubbiness(by_name["uspatent"])
+    assert hubbiness(by_name["randgraph"]) < 4

@@ -1,0 +1,31 @@
+"""Table 2 — pruning ratio of the light-weight edge index.
+
+Paper shape: large pruning ratios (58-93%) on every measurable row, and
+the index-less K4 run on the social graph dies with OOM.
+"""
+
+from conftest import run_once
+
+from repro.bench import run_experiment
+
+
+def test_table2_edge_index_pruning(benchmark, bench_scale, save_report):
+    report = run_once(benchmark, run_experiment, "table2", scale=bench_scale)
+    save_report(report)
+    data = report.data
+
+    pg1 = data["livejournal/PG1(v1)"]
+    assert pg1["without_index"] is not None
+    pruning = 1 - pg1["with_index"] / pg1["without_index"]
+    assert pruning > 0.40  # paper: 58.01%
+
+    # the paper's OOM cell: K4 without the index exceeds memory
+    pg4 = data["livejournal/PG4(v1)"]
+    assert pg4["without_index"] is None
+    assert pg4["with_index"] is not None
+
+    for key in ["uspatent/PG5(v1)", "uspatent/PG5(v3,v4)"]:
+        row = data[key]
+        assert row["without_index"] is not None
+        pruning = 1 - row["with_index"] / row["without_index"]
+        assert pruning > 0.60, (key, pruning)  # paper: 92.87% / 63.89%

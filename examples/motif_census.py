@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Network-motif census: count all 3- and 4-vertex connected motifs.
+
+Motif discovery in biological and social networks (Milo et al., Science
+2002 — cited as the paper's motivating application) compares each motif's
+frequency in the real network against randomized null-model graphs.  This
+example runs the census with PSgL over both a "real" (power-law) network
+and an Erdos-Renyi null model of the same size, then reports which motifs
+are over-represented.
+
+Run:  python examples/motif_census.py
+"""
+
+from __future__ import annotations
+
+from repro import PSgL, PatternGraph, break_automorphisms, chung_lu_power_law, erdos_renyi
+
+
+def motif_catalog() -> dict:
+    """All connected 3- and 4-vertex motifs (undirected)."""
+    raw = {
+        "path-3 (P3)": PatternGraph(3, [(0, 1), (1, 2)], name="P3"),
+        "triangle": PatternGraph(3, [(0, 1), (1, 2), (0, 2)], name="K3"),
+        "path-4 (P4)": PatternGraph(4, [(0, 1), (1, 2), (2, 3)], name="P4"),
+        "star-4 (claw)": PatternGraph(4, [(0, 1), (0, 2), (0, 3)], name="S4"),
+        "cycle-4 (C4)": PatternGraph(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0)], name="C4"
+        ),
+        "tailed triangle": PatternGraph(
+            4, [(0, 1), (1, 2), (0, 2), (2, 3)], name="tailed-K3"
+        ),
+        "diamond": PatternGraph(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)], name="diamond"
+        ),
+        "clique-4 (K4)": PatternGraph(
+            4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], name="K4"
+        ),
+    }
+    return {label: break_automorphisms(p) for label, p in raw.items()}
+
+
+def census(graph, workers: int = 8) -> dict:
+    """Motif label -> instance count."""
+    psgl = PSgL(graph, num_workers=workers, seed=0)
+    return {label: psgl.count(pattern) for label, pattern in motif_catalog().items()}
+
+
+def main() -> None:
+    n, avg_degree = 600, 6
+    real = chung_lu_power_law(n, gamma=2.2, avg_degree=avg_degree, max_degree=60, seed=5)
+    null = erdos_renyi(n, avg_degree / (n - 1), seed=6)
+    print(f"'real' network: {real}")
+    print(f"null model    : {null}\n")
+
+    real_counts = census(real)
+    null_counts = census(null)
+    print(f"{'motif':<18} {'real':>10} {'null':>10} {'real/null':>10}")
+    print("-" * 52)
+    for label in real_counts:
+        r, z = real_counts[label], null_counts[label]
+        ratio = (r / z) if z else float("inf")
+        flag = "  <- over-represented" if ratio > 3 else ""
+        print(f"{label:<18} {r:>10,} {z:>10,} {ratio:>10.2f}{flag}")
+
+    print(
+        "\nPower-law networks are triangle- and clique-rich relative to the "
+        "ER null model; that surplus is what motif analyses detect."
+    )
+
+    # The same census without naming any motif by hand: the library can
+    # enumerate every connected k-vertex pattern itself.
+    from repro import motif_census
+
+    generated = motif_census(real, 4, num_workers=8)
+    print(f"\nexhaustive 4-motif census ({len(generated)} motifs):")
+    print("  " + ", ".join(f"{name}={count:,}" for name, count in generated.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+"""An in-memory MapReduce engine with cluster-cost accounting.
+
+Substrate for the paper's two MapReduce baselines (Afrati's single-round
+multiway join and Plantenga's SGIA-MR).  The engine is deliberately
+faithful to the execution model that determines those systems'
+performance:
+
+* inputs are split round-robin over ``num_mappers`` map tasks;
+* map output is shuffled by ``hash(key) % num_reducers``;
+* each reduce task processes its keys serially.
+
+Costs use the same abstract units as the BSP simulator (one unit per
+record handled / probe performed), so PSgL-vs-MapReduce ratios (Figure 7,
+Tables 3-4) are apples-to-apples.  A round's makespan is
+``max(map task costs) + max(reduce task costs)`` — the straggler effects
+("the curse of the last reducer") appear exactly where they do on a real
+cluster.  The shuffle volume at a round barrier is checked against an
+optional memory budget, mirroring job OOM failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import SimulatedOOMError
+
+KeyValue = Tuple[Any, Any]
+Emit = Callable[[Any, Any], None]
+
+
+class MapReduceRound:
+    """One map/shuffle/reduce round.  Subclasses override both methods."""
+
+    name = "round"
+
+    def map(self, record: Any, emit: Emit) -> None:
+        """Transform one input record into zero or more ``(key, value)``."""
+        raise NotImplementedError
+
+    def reduce(self, key: Any, values: List[Any], emit: Emit, charge: Callable[[float], None]) -> None:
+        """Process one key group; ``charge`` adds extra reducer cost units
+        beyond the default one-unit-per-input-record."""
+        raise NotImplementedError
+
+
+@dataclass
+class RoundStats:
+    """Cost profile of one executed round."""
+
+    name: str
+    mapper_costs: List[float]
+    reducer_costs: List[float]
+    map_input_records: int
+    shuffle_records: int
+    output_records: int
+
+    @property
+    def makespan(self) -> float:
+        """Slowest mapper plus slowest reducer — the round's wall time."""
+        slow_map = max(self.mapper_costs) if self.mapper_costs else 0.0
+        slow_red = max(self.reducer_costs) if self.reducer_costs else 0.0
+        return slow_map + slow_red
+
+    @property
+    def total_cost(self) -> float:
+        """All work done in the round."""
+        return sum(self.mapper_costs) + sum(self.reducer_costs)
+
+    @property
+    def reducer_skew(self) -> float:
+        """max/mean reducer cost; big values = last-reducer curse."""
+        busy = [c for c in self.reducer_costs]
+        mean = sum(busy) / max(len(busy), 1)
+        return (max(busy) / mean) if mean > 0 else 1.0
+
+
+@dataclass
+class MapReduceJobResult:
+    """Outputs plus per-round statistics for a multi-round job."""
+
+    outputs: List[Any]
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """Total simulated runtime: sum of round makespans."""
+        return sum(r.makespan for r in self.rounds)
+
+    @property
+    def total_cost(self) -> float:
+        """Total work across the whole job."""
+        return sum(r.total_cost for r in self.rounds)
+
+    @property
+    def total_shuffle(self) -> int:
+        """Records moved through all shuffles (intermediate-result volume)."""
+        return sum(r.shuffle_records for r in self.rounds)
+
+
+class MapReduceEngine:
+    """Executes rounds with ``num_reducers`` parallel tasks per stage."""
+
+    def __init__(
+        self,
+        num_reducers: int,
+        num_mappers: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+    ):
+        if num_reducers < 1:
+            raise ValueError(f"need >= 1 reducer, got {num_reducers}")
+        self.num_reducers = num_reducers
+        self.num_mappers = num_mappers or num_reducers
+        self.memory_budget = memory_budget
+
+    # ------------------------------------------------------------------
+    def run_round(self, rnd: MapReduceRound, records: Iterable[Any]) -> Tuple[List[Any], RoundStats]:
+        """Execute one round over ``records``."""
+        records = list(records)
+        mapper_costs = [0.0] * self.num_mappers
+        shuffled: Dict[int, Dict[Any, List[Any]]] = {
+            r: {} for r in range(self.num_reducers)
+        }
+        shuffle_count = 0
+
+        for i, record in enumerate(records):
+            mapper = i % self.num_mappers
+            emitted: List[KeyValue] = []
+            rnd.map(record, lambda k, v: emitted.append((k, v)))
+            mapper_costs[mapper] += 1.0 + len(emitted)
+            for key, value in emitted:
+                reducer = hash(key) % self.num_reducers
+                shuffled[reducer].setdefault(key, []).append(value)
+                shuffle_count += 1
+
+        if self.memory_budget is not None and shuffle_count > self.memory_budget:
+            raise SimulatedOOMError(
+                shuffle_count, self.memory_budget, where=f"shuffle of {rnd.name}"
+            )
+
+        reducer_costs = [0.0] * self.num_reducers
+        outputs: List[Any] = []
+        for reducer, groups in shuffled.items():
+            extra = [0.0]
+
+            def charge(units: float) -> None:
+                extra[0] += units
+
+            for key, values in groups.items():
+                reducer_costs[reducer] += len(values)
+                rnd.reduce(key, values, lambda out: outputs.append(out), charge)
+            reducer_costs[reducer] += extra[0]
+
+        stats = RoundStats(
+            name=rnd.name,
+            mapper_costs=mapper_costs,
+            reducer_costs=reducer_costs,
+            map_input_records=len(records),
+            shuffle_records=shuffle_count,
+            output_records=len(outputs),
+        )
+        return outputs, stats
+
+    def run_job(
+        self, rounds: List[MapReduceRound], records: Iterable[Any]
+    ) -> MapReduceJobResult:
+        """Chain rounds, feeding each round's output to the next."""
+        result = MapReduceJobResult(outputs=list(records))
+        for rnd in rounds:
+            outputs, stats = self.run_round(rnd, result.outputs)
+            result.outputs = outputs
+            result.rounds.append(stats)
+        return result

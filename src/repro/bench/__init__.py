@@ -1,0 +1,28 @@
+"""Benchmark harness: datasets, runner, rendering, per-figure experiments."""
+
+from .datasets import (
+    SPECS,
+    DatasetSpec,
+    clear_cache,
+    dataset_names,
+    dataset_summary,
+    load_dataset,
+)
+from .runner import EXPERIMENT_IDS, ExperimentReport, run_all, run_experiment
+from .tables import format_series, format_table, ratio
+
+__all__ = [
+    "SPECS",
+    "DatasetSpec",
+    "clear_cache",
+    "dataset_names",
+    "dataset_summary",
+    "load_dataset",
+    "EXPERIMENT_IDS",
+    "ExperimentReport",
+    "run_all",
+    "run_experiment",
+    "format_series",
+    "format_table",
+    "ratio",
+]

@@ -1,0 +1,75 @@
+"""Figure 3 — Performance of the five distribution strategies.
+
+Panels (a)-(c): PG2 (square) on the WebGoogle, WikiTalk and UsPatent
+analogs — patterns whose middle iterations create new Gpsis, where
+distribution matters most.  Panel (d): PG4 (4-clique) on LiveJournal —
+only the first iteration creates Gpsis, so all strategies converge.
+
+Expected shape: (WA,0.5) fastest, with the largest margin on the most
+skewed graph (wikitalk) and a negligible one for the clique panel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...core.listing import PSgL
+from ...pattern.catalog import clique4, square
+from ..datasets import load_dataset
+from ..runner import ExperimentReport
+from ..tables import format_series, format_table
+
+STRATEGIES = ["random", "roulette", "WA,1", "WA,0", "WA,0.5"]
+
+PANELS = [
+    ("a", "PG2", "webgoogle"),
+    ("b", "PG2", "wikitalk"),
+    ("c", "PG2", "uspatent"),
+    ("d", "PG4", "livejournal"),
+]
+
+
+def run(scale: float = 1.0, num_workers: int = 16, seed: int = 7) -> ExperimentReport:
+    """Run every strategy on each panel; report simulated makespans."""
+    patterns = {"PG2": square(), "PG4": clique4()}
+    data: Dict[str, Dict[str, float]] = {}
+    rows: List[List[object]] = []
+    blocks: List[str] = []
+    for panel, pattern_name, dataset in PANELS:
+        graph = load_dataset(dataset, scale)
+        pattern = patterns[pattern_name]
+        makespans: Dict[str, float] = {}
+        counts = set()
+        for strategy in STRATEGIES:
+            result = PSgL(
+                graph, num_workers=num_workers, strategy=strategy, seed=seed
+            ).run(pattern)
+            makespans[strategy] = result.makespan
+            counts.add(result.count)
+        assert len(counts) == 1, f"strategies disagree on count: {counts}"
+        data[f"({panel}) {pattern_name} on {dataset}"] = makespans
+        best = min(makespans.values())
+        rows.append(
+            [f"({panel}) {pattern_name} on {dataset}", counts.pop()]
+            + [makespans[s] for s in STRATEGIES]
+            + [f"{(max(makespans.values()) / best - 1) * 100:.0f}%"]
+        )
+        blocks.append(
+            format_series(
+                f"({panel}) {pattern_name} on {dataset} — makespan (cost units)",
+                makespans,
+            )
+        )
+    text = (
+        format_table(
+            ["panel", "instances"] + STRATEGIES + ["worst vs best"], rows
+        )
+        + "\n\n"
+        + "\n\n".join(blocks)
+    )
+    return ExperimentReport(
+        experiment="fig3",
+        title="Distribution strategies (random / roulette / WA alpha in {1,0,0.5})",
+        text=text,
+        data={"panels": data},
+    )

@@ -1,0 +1,84 @@
+"""Experiment runner shared by the benchmark harness and the CLI.
+
+Each experiment module under :mod:`repro.bench.experiments` exposes a
+``run(scale=...) -> ExperimentReport``; the runner discovers, executes and
+renders them, and can persist every report under ``results/`` so that
+EXPERIMENTS.md can be regenerated from one command.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+EXPERIMENT_IDS: List[str] = [
+    "table1",
+    "fig4",
+    "fig3",
+    "fig5",
+    "fig6",
+    "table2",
+    "fig7",
+    "table3",
+    "table4",
+    "fig8",
+]
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's regenerated numbers plus its rendered text."""
+
+    experiment: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def render(self) -> str:
+        """Full printable block."""
+        header = f"== {self.experiment}: {self.title} ({self.seconds:.1f}s) =="
+        return f"{header}\n{self.text}\n"
+
+
+def _module_for(experiment: str):
+    return importlib.import_module(f"repro.bench.experiments.{experiment}")
+
+
+def run_experiment(experiment: str, scale: float = 1.0, **kwargs) -> ExperimentReport:
+    """Run one experiment by id (``fig3``, ``table2``, ...)."""
+    if experiment not in EXPERIMENT_IDS:
+        raise ValueError(
+            f"unknown experiment {experiment!r}; choose from {EXPERIMENT_IDS}"
+        )
+    module = _module_for(experiment)
+    started = perf_counter()
+    report: ExperimentReport = module.run(scale=scale, **kwargs)
+    report.seconds = perf_counter() - started
+    return report
+
+
+def run_all(
+    scale: float = 1.0,
+    experiments: Optional[Sequence[str]] = None,
+    out_dir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = print,
+) -> List[ExperimentReport]:
+    """Run every (or the selected) experiment, optionally persisting the
+    rendered text under ``out_dir``."""
+    chosen = list(experiments) if experiments else list(EXPERIMENT_IDS)
+    reports = []
+    for experiment in chosen:
+        if progress:
+            progress(f"running {experiment} (scale={scale}) ...")
+        report = run_experiment(experiment, scale=scale)
+        reports.append(report)
+        if progress:
+            progress(report.render())
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{experiment}.txt").write_text(report.render())
+    return reports

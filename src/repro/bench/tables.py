@@ -1,0 +1,65 @@
+"""Plain-text rendering of benchmark tables and figure series.
+
+Every experiment module returns structured rows; these helpers turn them
+into the monospace tables/series the harness prints and writes next to
+the paper's numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, points: Dict[object, float], unit: str = ""
+) -> str:
+    """Render a figure-style series as ``x: value`` lines with a bar."""
+    if not points:
+        return f"{label}: (empty)"
+    peak = max(abs(v) for v in points.values()) or 1.0
+    lines = [label]
+    for x, v in points.items():
+        bar = "#" * max(1, int(40 * abs(v) / peak))
+        lines.append(f"  {str(x):>12}: {v:>12.1f}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def ratio(value: float, baseline: float) -> float:
+    """Safe ratio used for the paper's "runtime ratio" plots."""
+    if baseline <= 0:
+        return float("inf") if value > 0 else 1.0
+    return value / baseline
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.2f}"
+    if cell is None:
+        return "-"
+    return str(cell)

@@ -1,0 +1,31 @@
+"""Bulk Synchronous Parallel substrate (Pregel/Giraph simulator)."""
+
+from .aggregate import (
+    Aggregator,
+    AggregatorRegistry,
+    max_aggregator,
+    min_aggregator,
+    sum_aggregator,
+)
+from .engine import BSPEngine, BSPResult
+from .message import Message, MessageStore
+from .metrics import CostLedger, SuperstepStats
+from .vertex_program import ComputeContext, VertexProgram
+from .worker import Worker
+
+__all__ = [
+    "Aggregator",
+    "AggregatorRegistry",
+    "max_aggregator",
+    "min_aggregator",
+    "sum_aggregator",
+    "BSPEngine",
+    "BSPResult",
+    "Message",
+    "MessageStore",
+    "CostLedger",
+    "SuperstepStats",
+    "ComputeContext",
+    "VertexProgram",
+    "Worker",
+]

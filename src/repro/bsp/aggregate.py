@@ -1,0 +1,126 @@
+"""Pregel-style aggregators.
+
+An aggregator is a commutative, associative reduction over values supplied
+by vertices during a superstep; the reduced value becomes visible to every
+vertex in the *next* superstep (and to the driver when the job ends).
+Giraph exposes the same mechanism, and the paper's implementation uses it
+for global statistics such as the number of instances found so far.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+
+class Aggregator:
+    """One named global reduction.
+
+    Parameters
+    ----------
+    initial:
+        Identity element, restored at the start of every superstep.
+    combine:
+        Commutative associative binary operation.
+    """
+
+    __slots__ = ("initial", "_combine", "_value")
+
+    def __init__(self, initial: Any, combine: Callable[[Any, Any], Any]):
+        self.initial = initial
+        self._combine = combine
+        self._value = initial
+
+    def aggregate(self, value: Any) -> None:
+        """Fold one contribution into the running value."""
+        self._value = self._combine(self._value, value)
+
+    @property
+    def value(self) -> Any:
+        """Current reduced value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Restore the identity (called at each superstep boundary)."""
+        self._value = self.initial
+
+
+def sum_aggregator(initial: float = 0) -> Aggregator:
+    """Sums numeric contributions."""
+    return Aggregator(initial, lambda a, b: a + b)
+
+
+def max_aggregator(initial: Optional[float] = None) -> Aggregator:
+    """Keeps the maximum contribution (``None`` identity)."""
+    def combine(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return max(a, b)
+
+    return Aggregator(initial, combine)
+
+
+def min_aggregator(initial: Optional[float] = None) -> Aggregator:
+    """Keeps the minimum contribution (``None`` identity)."""
+    def combine(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+    return Aggregator(initial, combine)
+
+
+class AggregatorRegistry:
+    """The engine's view: per-superstep values plus sticky totals.
+
+    Pregel semantics: contributions made during superstep ``i`` are
+    reduced and become readable during superstep ``i+1``; this registry
+    additionally keeps a *persistent* variant whose value accumulates
+    across the whole job (Giraph's persistent aggregators), which is what
+    a global instance counter needs.
+    """
+
+    def __init__(
+        self,
+        per_step: Dict[str, Aggregator],
+        persistent: Dict[str, Aggregator],
+    ):
+        self._per_step = per_step
+        self._persistent = persistent
+        self._visible: Dict[str, Any] = {
+            name: agg.initial for name, agg in per_step.items()
+        }
+
+    # ------------------------------------------------------------------
+    def aggregate(self, name: str, value: Any) -> None:
+        """Route one contribution to the named aggregator."""
+        if name in self._per_step:
+            self._per_step[name].aggregate(value)
+        elif name in self._persistent:
+            self._persistent[name].aggregate(value)
+        else:
+            raise KeyError(f"unknown aggregator {name!r}")
+
+    def visible(self, name: str) -> Any:
+        """Value readable by vertices this superstep."""
+        if name in self._persistent:
+            return self._persistent[name].value
+        if name in self._visible:
+            return self._visible[name]
+        raise KeyError(f"unknown aggregator {name!r}")
+
+    def end_superstep(self) -> None:
+        """Publish per-step values for the next superstep and reset."""
+        for name, agg in self._per_step.items():
+            self._visible[name] = agg.value
+            agg.reset()
+
+    def finals(self) -> Dict[str, Any]:
+        """Values handed to the driver when the job halts."""
+        result = dict(self._visible)
+        for name, agg in self._persistent.items():
+            result[name] = agg.value
+        return result

@@ -1,0 +1,211 @@
+"""The BSP engine: superstep loop, message routing, halting.
+
+Semantics follow Pregel/Giraph:
+
+* **Superstep 0** runs ``compute`` on every vertex (or the program's
+  declared initial set) with an empty message list — this hosts PSgL's
+  initialization phase.
+* **Superstep i > 0** runs ``compute`` only on vertices that received
+  messages at the end of superstep ``i-1``.
+* The job **halts** when a superstep ends with no pending messages.
+
+Workers execute sequentially inside the simulator but the cost ledger
+records what each *logical* worker did, so makespan, balance and message
+statistics are exactly what a real cluster with the same partitioning and
+routing would observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, List, Optional
+
+from ..exceptions import EngineError
+from ..graph.graph import Graph
+from ..graph.partition import Partition
+from .aggregate import AggregatorRegistry
+from .message import Message, MessageStore
+from .metrics import CostLedger
+from .vertex_program import ComputeContext, VertexProgram
+from .worker import Worker
+
+
+@dataclass
+class BSPResult:
+    """Everything a finished (or OOM-aborted) job produced."""
+
+    outputs: List[Any]
+    ledger: CostLedger
+    wall_seconds: float
+    aggregated: Optional[dict] = None
+
+    @property
+    def makespan(self) -> float:
+        """Simulated runtime per Equation 3 (cost units)."""
+        return self.ledger.makespan()
+
+    @property
+    def supersteps(self) -> int:
+        """Number of supersteps the job ran."""
+        return self.ledger.num_supersteps
+
+
+class BSPEngine:
+    """Runs a :class:`VertexProgram` over a partitioned data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (shared, read-only — like Giraph's in-memory
+        partitions plus the paper's replicated shared data).
+    partition:
+        Vertex-to-worker assignment.
+    memory_budget:
+        Optional cap on in-flight messages at a superstep barrier; crossing
+        it raises :class:`~repro.exceptions.SimulatedOOMError`.
+    max_supersteps:
+        Safety valve against non-terminating programs.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        partition: Partition,
+        memory_budget: Optional[int] = None,
+        worker_memory_budget: Optional[int] = None,
+        max_supersteps: int = 1000,
+    ):
+        if partition.num_vertices != graph.num_vertices:
+            raise EngineError(
+                f"partition covers {partition.num_vertices} vertices, "
+                f"graph has {graph.num_vertices}"
+            )
+        self.graph = graph
+        self.partition = partition
+        self.memory_budget = memory_budget
+        self.worker_memory_budget = worker_memory_budget
+        self.max_supersteps = max_supersteps
+        self.workers = [
+            Worker(w, partition.vertices_of(w))
+            for w in range(partition.num_workers)
+        ]
+
+    @property
+    def num_workers(self) -> int:
+        """Number of logical workers ``K``."""
+        return self.partition.num_workers
+
+    # ------------------------------------------------------------------
+    def run(self, program: VertexProgram) -> BSPResult:
+        """Execute ``program`` to completion and return its results."""
+        started = perf_counter()
+        for worker in self.workers:
+            worker.reset_state()
+        program.pre_application(self.graph, self.num_workers)
+        ledger = CostLedger(
+            self.num_workers, self.memory_budget, self.worker_memory_budget
+        )
+        outputs: List[Any] = []
+        combiner = program.message_combiner()
+        inbox = MessageStore(combiner)
+        registry = AggregatorRegistry(
+            program.aggregators(), program.persistent_aggregators()
+        )
+
+        initial = program.initial_active_vertices(self.graph)
+        if initial is None:
+            initial = list(self.graph.vertices())
+
+        superstep = 0
+        active: List[int] = list(initial)
+        while True:
+            if superstep >= self.max_supersteps:
+                raise EngineError(
+                    f"exceeded max_supersteps={self.max_supersteps}; "
+                    "program may not terminate"
+                )
+            ledger.begin_superstep(superstep)
+            outbox = MessageStore(combiner)
+            inbound_per_worker = [0] * self.num_workers
+            self._run_superstep(
+                program,
+                superstep,
+                active,
+                inbox,
+                outbox,
+                ledger,
+                outputs,
+                inbound_per_worker,
+                registry,
+            )
+            registry.end_superstep()
+            ledger.total_emitted = len(outputs)
+            try:
+                ledger.end_superstep(
+                    live_messages=len(outbox),
+                    max_worker_live=max(inbound_per_worker),
+                )
+            except Exception:
+                program.post_application()
+                raise
+            if not outbox:
+                break
+            inbox = outbox
+            active = inbox.destinations()
+            superstep += 1
+        program.post_application()
+        return BSPResult(
+            outputs=outputs,
+            ledger=ledger,
+            wall_seconds=perf_counter() - started,
+            aggregated=registry.finals(),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_superstep(
+        self,
+        program: VertexProgram,
+        superstep: int,
+        active: List[int],
+        inbox: MessageStore,
+        outbox: MessageStore,
+        ledger: CostLedger,
+        outputs: List[Any],
+        inbound_per_worker: List[int],
+        registry: AggregatorRegistry,
+    ) -> None:
+        # Group the active set by owning worker so per-worker state is set
+        # up once and costs attribute to the right ledger column.
+        by_worker: List[List[int]] = [[] for _ in range(self.num_workers)]
+        for v in active:
+            by_worker[self.partition.owner(v)].append(v)
+
+        for worker in self.workers:
+            vertex_list = by_worker[worker.worker_id]
+            if not vertex_list:
+                continue
+            wid = worker.worker_id
+
+            def send(message: Message, _wid: int = wid) -> None:
+                outbox.add(message)
+                ledger.count_message(_wid)
+                inbound_per_worker[self.partition.owner(message.dest)] += 1
+
+            def add_cost(units: float, _wid: int = wid) -> None:
+                ledger.add_cost(_wid, units)
+
+            ctx = ComputeContext(
+                graph=self.graph,
+                superstep=superstep,
+                worker_id=wid,
+                worker_state=worker.state,
+                send=send,
+                add_cost=add_cost,
+                emit=outputs.append,
+                aggregators=registry,
+            )
+            for v in vertex_list:
+                ctx.vertex = v
+                ledger.count_compute(wid)
+                program.compute(ctx, inbox.take(v))

@@ -1,0 +1,66 @@
+"""Message container and per-worker queues for the BSP engine.
+
+Messages are addressed to data vertices (vertex-centric model); the engine
+routes each to the worker owning the destination and delivers it at the
+start of the next superstep, exactly like Pregel/Giraph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, NamedTuple
+
+
+class Message(NamedTuple):
+    """A payload addressed to a data vertex."""
+
+    dest: int
+    payload: Any
+
+
+class MessageStore:
+    """Holds messages for one superstep, grouped by destination vertex.
+
+    With a ``combiner`` (a commutative binary reduction over payloads),
+    messages to the same destination collapse into one — Pregel's message
+    combiner, which shrinks both network volume and barrier memory.
+    """
+
+    __slots__ = ("_by_vertex", "_count", "_combiner")
+
+    def __init__(self, combiner=None):
+        self._by_vertex: Dict[int, List[Any]] = {}
+        self._count = 0
+        self._combiner = combiner
+
+    def add(self, message: Message) -> None:
+        """Queue a message for delivery next superstep."""
+        existing = self._by_vertex.get(message.dest)
+        if self._combiner is not None and existing:
+            existing[0] = self._combiner(existing[0], message.payload)
+            return
+        if existing is None:
+            self._by_vertex[message.dest] = [message.payload]
+        else:
+            existing.append(message.payload)
+        self._count += 1
+
+    def extend(self, messages: Iterable[Message]) -> None:
+        """Queue several messages."""
+        for msg in messages:
+            self.add(msg)
+
+    def destinations(self) -> List[int]:
+        """Vertices with pending messages (the next superstep's active set)."""
+        return list(self._by_vertex.keys())
+
+    def take(self, vertex: int) -> List[Any]:
+        """Remove and return the payloads addressed to ``vertex``."""
+        payloads = self._by_vertex.pop(vertex, [])
+        self._count -= len(payloads)
+        return payloads
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0

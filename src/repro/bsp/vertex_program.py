@@ -1,0 +1,125 @@
+"""Vertex-centric programming API (the Pregel/Giraph contract).
+
+A :class:`VertexProgram` is instantiated once per job and invoked once per
+active vertex per superstep.  Superstep 0 runs on *every* vertex with no
+messages (the paper's initialization phase); later supersteps run only on
+vertices that received messages.  The program does its work through the
+:class:`ComputeContext`, which routes messages, charges simulated cost to
+the executing worker, and collects outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..graph.graph import Graph
+from .aggregate import AggregatorRegistry, Aggregator
+from .message import Message
+
+
+class ComputeContext:
+    """Everything a vertex program may touch during one ``compute`` call.
+
+    Instances are reused across vertices of the same worker within a
+    superstep; the engine rebinds :attr:`vertex` before each call.
+    """
+
+    __slots__ = (
+        "graph",
+        "superstep",
+        "worker_id",
+        "vertex",
+        "worker_state",
+        "_send",
+        "_add_cost",
+        "_emit",
+        "_aggregators",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        superstep: int,
+        worker_id: int,
+        worker_state: Dict[str, Any],
+        send: Callable[[Message], None],
+        add_cost: Callable[[float], None],
+        emit: Callable[[Any], None],
+        aggregators: Optional["AggregatorRegistry"] = None,
+    ):
+        self.graph = graph
+        self.superstep = superstep
+        self.worker_id = worker_id
+        self.vertex: int = -1
+        self.worker_state = worker_state
+        self._send = send
+        self._add_cost = add_cost
+        self._emit = emit
+        self._aggregators = aggregators
+
+    def send(self, dest: int, payload: Any) -> None:
+        """Send ``payload`` to data vertex ``dest`` (delivered next superstep)."""
+        self._send(Message(dest, payload))
+
+    def add_cost(self, units: float) -> None:
+        """Charge ``units`` of simulated work to the executing worker."""
+        self._add_cost(units)
+
+    def emit(self, value: Any) -> None:
+        """Record an output (e.g. a found subgraph instance)."""
+        self._emit(value)
+
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute ``value`` to a named aggregator (visible next
+        superstep; persistent aggregators accumulate across the job)."""
+        if self._aggregators is None:
+            raise RuntimeError("the program registered no aggregators")
+        self._aggregators.aggregate(name, value)
+
+    def aggregated(self, name: str) -> Any:
+        """Read an aggregator: last superstep's reduction (per-step) or
+        the running total (persistent)."""
+        if self._aggregators is None:
+            raise RuntimeError("the program registered no aggregators")
+        return self._aggregators.visible(name)
+
+
+class VertexProgram:
+    """Base class for vertex-centric algorithms.
+
+    Subclasses override :meth:`compute`; they may also override
+    :meth:`pre_application` (mirrors Giraph's ``preApplication()`` hook the
+    paper uses to load shared data and initialise the distributor) and
+    :meth:`post_application`.
+    """
+
+    def pre_application(self, graph: Graph, num_workers: int) -> None:
+        """One-time setup before superstep 0 (load shared read-only data)."""
+
+    def compute(self, ctx: ComputeContext, messages: List[Any]) -> None:
+        """Process one active vertex.  ``ctx.vertex`` is the vertex id;
+        ``messages`` are the payloads delivered this superstep (empty at
+        superstep 0)."""
+        raise NotImplementedError
+
+    def post_application(self) -> None:
+        """One-time teardown after the engine halts."""
+
+    def initial_active_vertices(self, graph: Graph) -> Optional[List[int]]:
+        """Vertices active at superstep 0; ``None`` means all of them."""
+        return None
+
+    def aggregators(self) -> Dict[str, "Aggregator"]:
+        """Per-superstep aggregators (values visible one superstep later)."""
+        return {}
+
+    def persistent_aggregators(self) -> Dict[str, "Aggregator"]:
+        """Aggregators accumulating across the whole job (Giraph-style)."""
+        return {}
+
+    def message_combiner(self) -> Optional[Callable[[Any, Any], Any]]:
+        """Optional commutative combine of two payloads addressed to the
+        same vertex in the same superstep (Pregel's combiner — cuts
+        message volume when payloads are reducible, e.g. partial sums).
+        ``None`` disables combining."""
+        return None

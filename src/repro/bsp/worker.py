@@ -1,0 +1,38 @@
+"""Logical workers for the BSP simulator.
+
+Each worker owns a slice of the vertex set (from a
+:class:`~repro.graph.partition.Partition`) and a private ``state`` dict.
+The paper's workload-aware distributor keeps its *local view* of the
+global workload in exactly this kind of per-worker state ("each worker
+only maintains a local view of the entire workload distribution",
+Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+
+class Worker:
+    """One logical worker: an id, its vertices, and private mutable state."""
+
+    __slots__ = ("worker_id", "vertices", "state")
+
+    def __init__(self, worker_id: int, vertices: np.ndarray):
+        self.worker_id = worker_id
+        self.vertices = vertices
+        self.state: Dict[str, Any] = {}
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices this worker owns."""
+        return len(self.vertices)
+
+    def reset_state(self) -> None:
+        """Clear private state between jobs."""
+        self.state.clear()
+
+    def __repr__(self) -> str:
+        return f"Worker(id={self.worker_id}, |V|={len(self.vertices)})"

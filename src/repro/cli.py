@@ -1,0 +1,181 @@
+"""Command-line interface: ``psgl`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``count``     list a pattern in a dataset or edge-list file and print stats
+``datasets``  show the Table 1 analog registry
+``patterns``  show the PG1-PG5 catalog with partial orders
+``stats``     degree statistics and the Property 1 skew report
+``bench``     regenerate paper tables/figures (all or selected)
+
+Examples
+--------
+::
+
+    psgl count --pattern PG1 --dataset wikitalk --workers 16
+    psgl count --pattern C5 --edge-list my_graph.txt --strategy WA,0.5
+    psgl bench --experiments fig3 fig8 --scale 0.5 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .bench.datasets import dataset_summary, load_dataset
+from .bench.runner import EXPERIMENT_IDS, run_all
+from .bench.tables import format_table
+from .core.listing import PSgL
+from .graph.io import read_edge_list
+from .graph.stats import skew_report
+from .pattern.catalog import describe, get_pattern, paper_patterns, pattern_from_edges
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="psgl",
+        description="PSgL: parallel subgraph listing (SIGMOD 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="list a pattern and print statistics")
+    pattern_group = count.add_mutually_exclusive_group(required=True)
+    pattern_group.add_argument(
+        "--pattern", help="PG1-PG5, K<k>, C<k>, P<k>, S<k>"
+    )
+    pattern_group.add_argument(
+        "--pattern-edges",
+        help="custom pattern as 1-based edges, e.g. '1-2,2-3,3-1'",
+    )
+    source = count.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help="a registered synthetic analog")
+    source.add_argument("--edge-list", help="path to a whitespace edge list")
+    count.add_argument("--workers", type=int, default=8)
+    count.add_argument("--strategy", default="WA,0.5")
+    count.add_argument("--scale", type=float, default=1.0)
+    count.add_argument("--seed", type=int, default=0)
+    count.add_argument(
+        "--no-index", action="store_true", help="disable the bloom edge index"
+    )
+    count.add_argument(
+        "--initial-vertex", type=int, default=None, help="force the initial pattern vertex (1-based)"
+    )
+
+    sub.add_parser("datasets", help="show the dataset registry (Table 1 analogs)")
+    sub.add_parser("patterns", help="show the PG1-PG5 catalog")
+
+    stats = sub.add_parser("stats", help="degree statistics and skew report")
+    stats_source = stats.add_mutually_exclusive_group(required=True)
+    stats_source.add_argument("--dataset", help="a registered synthetic analog")
+    stats_source.add_argument("--edge-list", help="path to an edge list")
+    stats.add_argument("--scale", type=float, default=1.0)
+
+    bench = sub.add_parser("bench", help="regenerate paper tables and figures")
+    bench.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        help=f"subset of: {' '.join(EXPERIMENT_IDS)} (default: all)",
+    )
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--out", type=Path, default=None, help="directory for .txt reports")
+    return parser
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    if args.pattern:
+        pattern = get_pattern(args.pattern)
+    else:
+        pattern = pattern_from_edges(args.pattern_edges)
+    if args.dataset:
+        graph = load_dataset(args.dataset, args.scale)
+    else:
+        graph, _ = read_edge_list(args.edge_list)
+    psgl = PSgL(
+        graph,
+        num_workers=args.workers,
+        strategy=args.strategy,
+        edge_index="none" if args.no_index else "bloom",
+        seed=args.seed,
+    )
+    initial = None if args.initial_vertex is None else args.initial_vertex - 1
+    result = psgl.run(pattern, initial_vertex=initial)
+    print(f"graph      : {graph}")
+    print(f"pattern    : {describe(pattern)}")
+    print(f"instances  : {result.count:,}")
+    print(f"supersteps : {result.supersteps}")
+    print(f"makespan   : {result.makespan:,.0f} cost units")
+    print(f"gpsis      : {result.total_gpsis:,}")
+    print(f"initial vp : v{result.initial_vertex + 1}")
+    print(f"strategy   : {result.strategy}")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = dataset_summary()
+    print(
+        format_table(
+            ["analog", "paper graph", "paper size", "|V|", "|E|", "max deg", "gamma"],
+            [
+                [
+                    r["name"],
+                    r["paper_name"],
+                    r["paper_size"],
+                    r["vertices"],
+                    r["edges"],
+                    r["max_degree"],
+                    r["gamma"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_patterns(_: argparse.Namespace) -> int:
+    for pattern in paper_patterns().values():
+        print(describe(pattern))
+        print()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset, args.scale)
+    else:
+        graph, _ = read_edge_list(args.edge_list)
+    report = skew_report(graph)
+    avg = 2 * graph.num_edges / max(graph.num_vertices, 1)
+    print(f"graph        : {graph}")
+    print(f"avg degree   : {avg:.2f}")
+    print(f"max degree   : {graph.max_degree()}")
+    print(f"gamma degree : {report.gamma_degree}")
+    print(f"gamma nb     : {report.gamma_nb}")
+    print(f"gamma ns     : {report.gamma_ns}")
+    print(f"Property 1   : {'holds' if report.property1_holds else 'not fitted'}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    run_all(scale=args.scale, experiments=args.experiments, out_dir=args.out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``psgl`` console script."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "count": _cmd_count,
+        "datasets": _cmd_datasets,
+        "patterns": _cmd_patterns,
+        "stats": _cmd_stats,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""PSgL core: the paper's primary contribution."""
+
+from .bloom import BloomFilter, optimal_parameters
+from .candidates import candidate_set, combination_consistent
+from .codec import CodecError, decode_gpsi, encode_gpsi, encoded_size
+from .cost import (
+    CostParameters,
+    DEFAULT_COSTS,
+    binomial,
+    estimate_f,
+    estimate_load,
+    expected_f_from_distribution,
+)
+from .distribution import (
+    DistributionStrategy,
+    RandomStrategy,
+    RouletteStrategy,
+    WorkloadAwareStrategy,
+    make_strategy,
+)
+from .edge_index import (
+    BloomEdgeIndex,
+    EdgeIndexBase,
+    ExactEdgeIndex,
+    NullEdgeIndex,
+    build_edge_index,
+)
+from .expansion import ExpansionOutcome, expand_gpsi
+from .init_vertex import (
+    DegreeStatistics,
+    deterministic_initial_vertex,
+    estimate_initial_vertex_cost,
+    is_clique,
+    is_cycle,
+    lowest_rank_vertex,
+    select_initial_vertex,
+)
+from .listing import ListingResult, PSgL, PSgLProgram
+from .psi import Gpsi, UNMAPPED
+
+__all__ = [
+    "BloomFilter",
+    "optimal_parameters",
+    "candidate_set",
+    "combination_consistent",
+    "CodecError",
+    "decode_gpsi",
+    "encode_gpsi",
+    "encoded_size",
+    "CostParameters",
+    "DEFAULT_COSTS",
+    "binomial",
+    "estimate_f",
+    "estimate_load",
+    "expected_f_from_distribution",
+    "DistributionStrategy",
+    "RandomStrategy",
+    "RouletteStrategy",
+    "WorkloadAwareStrategy",
+    "make_strategy",
+    "BloomEdgeIndex",
+    "EdgeIndexBase",
+    "ExactEdgeIndex",
+    "NullEdgeIndex",
+    "build_edge_index",
+    "ExpansionOutcome",
+    "expand_gpsi",
+    "DegreeStatistics",
+    "deterministic_initial_vertex",
+    "estimate_initial_vertex_cost",
+    "is_clique",
+    "is_cycle",
+    "lowest_rank_vertex",
+    "select_initial_vertex",
+    "ListingResult",
+    "PSgL",
+    "PSgLProgram",
+    "Gpsi",
+    "UNMAPPED",
+]

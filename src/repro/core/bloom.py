@@ -1,0 +1,98 @@
+"""A deterministic bloom filter (Bloom, 1970).
+
+Backs the light-weight edge index of Section 5.2.3.  The filter is exact
+on negatives (no false negatives) and has a tunable false-positive rate,
+which is the paper's "the precision of the index is adjustable".
+
+Hashing is splitmix64-based double hashing — index ``i`` probes
+``(h1 + i * h2) mod m`` — giving platform-independent, seed-stable
+behaviour (Python's builtin ``hash`` is randomised per process, so it is
+unsuitable here).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 scrambling round; excellent avalanche for cheap."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def optimal_parameters(expected_items: int, fp_rate: float) -> tuple:
+    """Classic sizing: bits ``m = -n ln p / (ln 2)^2``, hashes
+    ``k = (m/n) ln 2``.  Returns ``(num_bits, num_hashes)``."""
+    if expected_items < 1:
+        expected_items = 1
+    if not 0.0 < fp_rate < 1.0:
+        raise ReproError(f"fp_rate must be in (0, 1), got {fp_rate}")
+    m = max(8, int(math.ceil(-expected_items * math.log(fp_rate) / (math.log(2) ** 2))))
+    k = max(1, int(round(m / expected_items * math.log(2))))
+    return m, k
+
+
+class BloomFilter:
+    """Space-efficient approximate membership over integer keys.
+
+    Parameters
+    ----------
+    expected_items:
+        Number of keys that will be inserted (sizing hint).
+    fp_rate:
+        Target false-positive probability at that fill level.
+    seed:
+        Hash seed for reproducibility across runs.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "_bits", "_seed", "count")
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01, seed: int = 0):
+        self.num_bits, self.num_hashes = optimal_parameters(expected_items, fp_rate)
+        self._bits = np.zeros(self.num_bits, dtype=bool)
+        self._seed = seed
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    def _probes(self, key: int):
+        h1 = _splitmix64((key ^ self._seed) & _MASK64)
+        h2 = _splitmix64(h1) | 1  # odd stride avoids short probe cycles
+        m = self.num_bits
+        pos = h1 % m
+        for _ in range(self.num_hashes):
+            yield pos
+            pos = (pos + h2) % m
+
+    def add(self, key: int) -> None:
+        """Insert an integer key."""
+        for pos in self._probes(key):
+            self._bits[pos] = True
+        self.count += 1
+
+    def __contains__(self, key: int) -> bool:
+        return all(self._bits[pos] for pos in self._probes(key))
+
+    # ------------------------------------------------------------------
+    def estimated_fp_rate(self) -> float:
+        """``(fraction of set bits) ** k`` — the realised FP probability."""
+        fill = float(self._bits.mean()) if self.num_bits else 0.0
+        return fill ** self.num_hashes
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the bit array."""
+        return self.num_bits // 8 + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"items={self.count})"
+        )

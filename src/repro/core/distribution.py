@@ -1,0 +1,165 @@
+"""Gpsi distribution strategies (Section 5.1, Algorithm 3).
+
+After an expansion creates a new Gpsi, one of its GRAY vertices must be
+chosen as the next expansion target; the Gpsi is then routed to the worker
+owning that vertex's data image.  Choosing well is the NP-hard *partial
+subgraph instance distribution problem* (Theorem 2 — reduction from
+Minimum Makespan Scheduling), so the paper evaluates heuristics:
+
+* **random** — uniform over the GRAY candidates; balances Gpsi *counts*
+  but not cost (hubs overload their workers);
+* **roulette wheel** — Equation 6: pick GRAY ``k`` with probability
+  proportional to ``prod_{j != k} deg(vdj)``, i.e. inversely proportional
+  to ``deg(vdk)`` (Heuristic 1: big-degree vertices should expand fewer
+  Gpsis);
+* **workload-aware (alpha)** — greedy ``argmin_j W_j^alpha + w_ij`` with
+  the increased-workload estimate ``w_ij = C(deg(vd), w)`` and a
+  worker-local view of the global load vector ``W`` (Section 6).
+  ``alpha=1`` is the classical greedy (prone to local optima), ``alpha=0``
+  pure cost-minimisation (prone to stragglers), ``alpha=0.5`` the paper's
+  trade-off, bounded by ``K * OPT`` (Theorem 3).
+
+Each strategy only sees GRAY vertices whose expansion makes progress
+(:meth:`~repro.core.psi.Gpsi.useful_grays`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..exceptions import DistributionError
+from ..graph.graph import Graph
+from ..graph.partition import Partition
+from ..pattern.pattern import PatternGraph
+from .cost import estimate_f
+from .psi import Gpsi
+
+
+def _num_white_neighbors(gpsi: Gpsi, pattern: PatternGraph, vp: int) -> int:
+    return sum(1 for w in pattern.neighbors(vp) if gpsi.is_white(w))
+
+
+class DistributionStrategy:
+    """Chooses the next expansion vertex for a freshly created Gpsi."""
+
+    name = "abstract"
+
+    def choose(
+        self,
+        gpsi: Gpsi,
+        candidates: List[int],
+        pattern: PatternGraph,
+        graph: Graph,
+        partition: Partition,
+        worker_state: Dict[str, Any],
+    ) -> int:
+        """Return the chosen GRAY pattern vertex from ``candidates``.
+
+        ``worker_state`` is the executing worker's private dict; strategies
+        keep their RNG and local workload view there so runs are
+        deterministic per worker and need no cross-worker coordination.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rng(worker_state: Dict[str, Any]) -> np.random.Generator:
+        rng = worker_state.get("dist_rng")
+        if rng is None:
+            raise DistributionError(
+                "worker RNG missing; the listing driver must seed it"
+            )
+        return rng
+
+
+class RandomStrategy(DistributionStrategy):
+    """Uniformly random GRAY choice — minimal overhead, cost-oblivious."""
+
+    name = "random"
+
+    def choose(self, gpsi, candidates, pattern, graph, partition, worker_state):
+        if len(candidates) == 1:
+            return candidates[0]
+        rng = self._rng(worker_state)
+        return candidates[int(rng.integers(len(candidates)))]
+
+
+class RouletteStrategy(DistributionStrategy):
+    """Equation 6 roulette wheel: smaller-degree images expand more."""
+
+    name = "roulette"
+
+    def choose(self, gpsi, candidates, pattern, graph, partition, worker_state):
+        if len(candidates) == 1:
+            return candidates[0]
+        # p_k proportional to prod_{j != k} deg_j == proportional to 1/deg_k.
+        inv = [1.0 / max(graph.degree(gpsi.mapping[vp]), 1) for vp in candidates]
+        total = sum(inv)
+        rng = self._rng(worker_state)
+        randnum = rng.random() * total
+        for vp, weight in zip(candidates, inv):
+            if randnum <= weight:
+                return vp
+            randnum -= weight
+        return candidates[-1]
+
+
+class WorkloadAwareStrategy(DistributionStrategy):
+    """Algorithm 3: ``argmin_j W_j^alpha + w_ij`` over GRAY candidates.
+
+    The load vector ``W`` is a per-worker *local view* updated without
+    synchronisation, exactly as in the paper's implementation notes; with
+    random partitions each worker sees a statistically faithful sample of
+    the global distribution.
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        if alpha < 0.0 or alpha > 1.0:
+            raise DistributionError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.name = f"workload-aware({alpha})"
+
+    def choose(self, gpsi, candidates, pattern, graph, partition, worker_state):
+        load_view = worker_state.get("dist_load_view")
+        if load_view is None:
+            load_view = [0.0] * partition.num_workers
+            worker_state["dist_load_view"] = load_view
+
+        best_vp = -1
+        best_worker = -1
+        best_score = float("inf")
+        best_increase = 0.0
+        for vp in candidates:
+            vd = gpsi.mapping[vp]
+            target = partition.owner(vd)
+            increase = estimate_f(
+                graph.degree(vd), _num_white_neighbors(gpsi, pattern, vp)
+            )
+            score = load_view[target] ** self.alpha + increase
+            if score < best_score:
+                best_score = score
+                best_vp = vp
+                best_worker = target
+                best_increase = increase
+        load_view[best_worker] += best_increase
+        return best_vp
+
+
+def make_strategy(name: str, alpha: float = 0.5) -> DistributionStrategy:
+    """Factory accepting the names used throughout the benchmarks.
+
+    ``"random"``, ``"roulette"``, ``"workload-aware"`` (uses ``alpha``),
+    and the paper's shorthands ``"WA,0"``, ``"WA,0.5"``, ``"WA,1"``.
+    """
+    lowered = name.lower()
+    if lowered == "random":
+        return RandomStrategy()
+    if lowered == "roulette":
+        return RouletteStrategy()
+    if lowered in ("workload-aware", "wa"):
+        return WorkloadAwareStrategy(alpha)
+    if lowered.startswith("wa,"):
+        return WorkloadAwareStrategy(float(lowered.split(",", 1)[1]))
+    raise DistributionError(f"unknown distribution strategy {name!r}")

@@ -1,0 +1,370 @@
+"""The PSgL framework driver (Section 4.2) and its vertex program.
+
+:class:`PSgL` is the library's main entry point.  It assembles the whole
+pipeline the paper describes:
+
+1. order the data graph by degree (Section 3);
+2. break the pattern's automorphisms if it carries no partial order yet
+   (Section 5.2.1);
+3. pick the initial pattern vertex (Section 5.2.2);
+4. build the light-weight edge index (Section 5.2.3) and replicate it as
+   shared read-only data;
+5. randomly partition the data graph over ``K`` workers and run the
+   two-phase vertex program (initialization + expansion) on the BSP
+   engine until no Gpsi remains.
+
+Example
+-------
+>>> from repro.graph import complete_graph
+>>> from repro.pattern import triangle
+>>> from repro.core import PSgL
+>>> result = PSgL(complete_graph(5), num_workers=2).run(triangle())
+>>> result.count   # C(5, 3) triangles in K5
+10
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..bsp.aggregate import sum_aggregator
+from ..bsp.engine import BSPEngine, BSPResult
+from ..bsp.metrics import CostLedger
+from ..bsp.vertex_program import ComputeContext, VertexProgram
+from ..exceptions import PatternError
+from ..graph.graph import Graph
+from ..graph.ordered import OrderedGraph
+from ..graph.partition import Partition, random_partition
+from ..pattern.automorphism import automorphisms, break_automorphisms
+from ..pattern.pattern import PatternGraph
+from .codec import encoded_size
+from .cost import CostParameters, DEFAULT_COSTS
+from .distribution import DistributionStrategy, make_strategy
+from .edge_index import EdgeIndexBase, build_edge_index
+from .expansion import expand_gpsi
+from .init_vertex import select_initial_vertex
+from .psi import Gpsi
+
+
+@dataclass
+class ListingResult:
+    """Outcome of one subgraph listing job.
+
+    ``makespan`` is the simulated runtime per Equation 3 (cost units);
+    ``gpsi_by_vertex`` counts intermediate results per expanding pattern
+    vertex (the Table 2 statistic).
+    """
+
+    count: int
+    pattern: PatternGraph
+    initial_vertex: int
+    strategy: str
+    ledger: CostLedger
+    wall_seconds: float
+    instances: Optional[List[Tuple[int, ...]]] = None
+    gpsi_by_vertex: Dict[int, int] = field(default_factory=dict)
+    index_queries: int = 0
+    index_pruned: int = 0
+    per_vertex_counts: Optional[Dict[int, int]] = None
+    message_bytes: Optional[int] = None
+
+    @property
+    def makespan(self) -> float:
+        """Simulated runtime (Equation 3)."""
+        return self.ledger.makespan()
+
+    @property
+    def supersteps(self) -> int:
+        """Supersteps executed, including initialization."""
+        return self.ledger.num_supersteps
+
+    @property
+    def total_gpsis(self) -> int:
+        """Total partial subgraph instances communicated."""
+        return self.ledger.total_messages()
+
+    @property
+    def worker_costs(self) -> List[float]:
+        """Per-worker total cost (Figure 5's bars)."""
+        return self.ledger.worker_totals()
+
+    def __repr__(self) -> str:
+        return (
+            f"ListingResult({self.pattern.name}: count={self.count}, "
+            f"makespan={self.makespan:.0f}, supersteps={self.supersteps})"
+        )
+
+
+class PSgLProgram(VertexProgram):
+    """The paper's single vertex program hosting both phases.
+
+    Superstep 0 is the initialization phase: every data vertex whose
+    degree admits the initial pattern vertex creates the one-pair Gpsi and
+    addresses it to itself.  Every later superstep expands incoming Gpsis
+    via Algorithm 1 and routes the offspring through the distribution
+    strategy.
+    """
+
+    def __init__(
+        self,
+        pattern: PatternGraph,
+        ordered: OrderedGraph,
+        partition: Partition,
+        strategy: DistributionStrategy,
+        edge_index: EdgeIndexBase,
+        initial_vertex: int,
+        costs: CostParameters,
+        seed: int,
+        collect_instances: bool,
+        count_per_vertex: bool = False,
+        track_message_bytes: bool = False,
+    ):
+        self.pattern = pattern
+        self.ordered = ordered
+        self.partition = partition
+        self.strategy = strategy
+        self.edge_index = edge_index
+        self.initial_vertex = initial_vertex
+        self.costs = costs
+        self.seed = seed
+        self.collect_instances = collect_instances
+        self.count_per_vertex = count_per_vertex
+        self.track_message_bytes = track_message_bytes
+        self.instances: List[Tuple[int, ...]] = []
+        self.gpsi_by_vertex: Dict[int, int] = {}
+        self.per_vertex_counts: Dict[int, int] = {}
+        self.message_bytes = 0
+
+    def persistent_aggregators(self):
+        # The global instance counter lives in a Giraph-style persistent
+        # aggregator rather than driver-side mutable state.
+        return {"found": sum_aggregator(0)}
+
+    # ------------------------------------------------------------------
+    def compute(self, ctx: ComputeContext, messages: List[Gpsi]) -> None:
+        if "dist_rng" not in ctx.worker_state:
+            ctx.worker_state["dist_rng"] = np.random.default_rng(
+                (self.seed + 1) * 1_000_003 + ctx.worker_id
+            )
+        if ctx.superstep == 0:
+            self._initialize(ctx)
+            return
+        for gpsi in messages:
+            self._expand(ctx, gpsi)
+
+    def _initialize(self, ctx: ComputeContext) -> None:
+        vd = ctx.vertex
+        ctx.add_cost(1.0)
+        if ctx.graph.degree(vd) < self.pattern.degree(self.initial_vertex):
+            return  # pruning rule 1: this vertex can never host v0
+        gpsi = Gpsi.initial(self.pattern, self.initial_vertex, vd)
+        self.gpsi_by_vertex[self.initial_vertex] = (
+            self.gpsi_by_vertex.get(self.initial_vertex, 0) + 1
+        )
+        ctx.send(vd, gpsi)
+
+    def _expand(self, ctx: ComputeContext, gpsi: Gpsi) -> None:
+        source_vp = gpsi.next_vertex
+        outcome = expand_gpsi(
+            gpsi, self.pattern, self.ordered, self.edge_index, self.costs
+        )
+        ctx.add_cost(outcome.cost)
+        if outcome.generated:
+            self.gpsi_by_vertex[source_vp] = (
+                self.gpsi_by_vertex.get(source_vp, 0) + outcome.generated
+            )
+        if outcome.complete:
+            ctx.aggregate("found", len(outcome.complete))
+            if self.collect_instances:
+                self.instances.extend(outcome.complete)
+            if self.count_per_vertex:
+                for mapping in outcome.complete:
+                    for vd in mapping:
+                        self.per_vertex_counts[vd] = (
+                            self.per_vertex_counts.get(vd, 0) + 1
+                        )
+        for child in outcome.pending:
+            grays = child.useful_grays(self.pattern)
+            chosen = self.strategy.choose(
+                child,
+                grays,
+                self.pattern,
+                ctx.graph,
+                self.partition,
+                ctx.worker_state,
+            )
+            addressed = child.with_next(chosen)
+            if self.track_message_bytes:
+                self.message_bytes += encoded_size(addressed)
+            ctx.send(child.mapping[chosen], addressed)
+
+
+class PSgL:
+    """Parallel subgraph listing on a simulated BSP cluster.
+
+    Parameters
+    ----------
+    graph:
+        The undirected data graph.
+    num_workers:
+        Number of logical workers ``K``.
+    strategy:
+        Distribution strategy: a :class:`DistributionStrategy` or one of
+        ``"random"``, ``"roulette"``, ``"workload-aware"``, ``"WA,0"``,
+        ``"WA,0.5"``, ``"WA,1"``.
+    alpha:
+        Penalty exponent when ``strategy="workload-aware"``.
+    edge_index:
+        ``"bloom"`` (the paper's index), ``"exact"``, or ``"none"``
+        (disables pruning rule 2, the Table 2 ablation).
+    edge_index_fp:
+        Target false-positive rate of the bloom index.
+    memory_budget:
+        Optional cap on total in-flight Gpsis; exceeding it raises
+        :class:`~repro.exceptions.SimulatedOOMError` like the paper's OOM
+        failures.
+    worker_memory_budget:
+        Optional cap on the Gpsis queued for any single worker (the
+        paper's "OOM on some nodes" failure mode).
+    partition:
+        Optional explicit partition; defaults to the paper's random one.
+    seed:
+        Master seed for partitioning and the stochastic strategies.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_workers: int = 4,
+        strategy: Union[str, DistributionStrategy] = "workload-aware",
+        alpha: float = 0.5,
+        edge_index: str = "bloom",
+        edge_index_fp: float = 0.01,
+        memory_budget: Optional[int] = None,
+        worker_memory_budget: Optional[int] = None,
+        partition: Optional[Partition] = None,
+        seed: int = 0,
+        costs: CostParameters = DEFAULT_COSTS,
+    ):
+        self.graph = graph
+        self.ordered = OrderedGraph(graph)
+        if isinstance(strategy, DistributionStrategy):
+            self.strategy = strategy
+        else:
+            self.strategy = make_strategy(strategy, alpha)
+        self.partition = partition or random_partition(
+            graph.num_vertices, num_workers, seed=seed
+        )
+        self.edge_index_kind = edge_index
+        self.edge_index_fp = edge_index_fp
+        self.memory_budget = memory_budget
+        self.worker_memory_budget = worker_memory_budget
+        self._edge_index: Optional[EdgeIndexBase] = None
+        self.seed = seed
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        pattern: PatternGraph,
+        initial_vertex: Optional[int] = None,
+        initial_vertex_method: str = "auto",
+        auto_break: bool = True,
+        collect_instances: bool = False,
+        count_per_vertex: bool = False,
+        track_message_bytes: bool = False,
+    ) -> ListingResult:
+        """List all instances of ``pattern`` in the data graph.
+
+        Parameters
+        ----------
+        pattern:
+            The pattern graph.  If it carries no partial order and
+            ``auto_break`` is set, automorphism breaking runs first so
+            every instance is reported exactly once.
+        initial_vertex:
+            Force a specific initial pattern vertex (used by the Figure 6
+            ablation); default selects per ``initial_vertex_method``.
+        initial_vertex_method:
+            ``"auto"``, ``"deterministic"``, ``"cost-model"`` or
+            ``"first"`` (see :func:`repro.core.init_vertex.select_initial_vertex`).
+        collect_instances:
+            Also materialise the instance mappings (memory permitting).
+        count_per_vertex:
+            Also count, per data vertex, the instances it participates in
+            (e.g. per-vertex triangle counts for local clustering
+            coefficients).
+        track_message_bytes:
+            Also account the wire volume of every routed Gpsi using the
+            compact codec (slower; for communication studies).
+        """
+        if pattern.num_vertices < 1:
+            raise PatternError("cannot list an empty pattern")
+        if auto_break and not pattern.partial_order:
+            if len(automorphisms(pattern)) > 1:
+                pattern = break_automorphisms(pattern)
+        if initial_vertex is None:
+            initial_vertex = select_initial_vertex(
+                pattern, self.graph, method=initial_vertex_method
+            )
+        elif not 0 <= initial_vertex < pattern.num_vertices:
+            raise PatternError(
+                f"initial vertex {initial_vertex} out of range for {pattern.name}"
+            )
+
+        # The index depends only on the data graph: build once per driver,
+        # reset its probe statistics per run.
+        if self._edge_index is None:
+            self._edge_index = build_edge_index(
+                self.graph,
+                kind=self.edge_index_kind,
+                fp_rate=self.edge_index_fp,
+                seed=self.seed,
+            )
+        index = self._edge_index
+        index.reset_statistics()
+        program = PSgLProgram(
+            pattern=pattern,
+            ordered=self.ordered,
+            partition=self.partition,
+            strategy=self.strategy,
+            edge_index=index,
+            initial_vertex=initial_vertex,
+            costs=self.costs,
+            seed=self.seed,
+            collect_instances=collect_instances,
+            count_per_vertex=count_per_vertex,
+            track_message_bytes=track_message_bytes,
+        )
+        engine = BSPEngine(
+            self.graph,
+            self.partition,
+            memory_budget=self.memory_budget,
+            worker_memory_budget=self.worker_memory_budget,
+        )
+        bsp_result: BSPResult = engine.run(program)
+        return ListingResult(
+            count=int(bsp_result.aggregated["found"]),
+            pattern=pattern,
+            initial_vertex=initial_vertex,
+            strategy=self.strategy.name,
+            ledger=bsp_result.ledger,
+            wall_seconds=bsp_result.wall_seconds,
+            instances=program.instances if collect_instances else None,
+            gpsi_by_vertex=dict(program.gpsi_by_vertex),
+            index_queries=index.queries,
+            index_pruned=index.pruned,
+            per_vertex_counts=(
+                dict(program.per_vertex_counts) if count_per_vertex else None
+            ),
+            message_bytes=(
+                program.message_bytes if track_message_bytes else None
+            ),
+        )
+
+    def count(self, pattern: PatternGraph, **kwargs) -> int:
+        """Convenience wrapper returning only the occurrence count."""
+        return self.run(pattern, **kwargs).count

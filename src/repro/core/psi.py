@@ -1,0 +1,150 @@
+"""Partial subgraph instances (Gpsi) and the BLACK/GRAY/WHITE colouring.
+
+A Gpsi (Section 3) records the mapping between pattern and data vertices
+built so far.  Following Section 4.3, pattern vertices are coloured:
+
+* **BLACK** — mapped and already expanded; all its pattern edges to
+  earlier vertices have been *exactly* verified against the data graph;
+* **GRAY** — mapped but not yet expanded; the expansion frontier;
+* **WHITE** — not mapped yet.
+
+A Gpsi is *complete* when every pattern vertex is mapped **and** the BLACK
+set covers every pattern edge — the cover condition is what guarantees
+each pattern edge received an exact adjacency check at one of its
+endpoints (the bloom edge index used during candidate generation is only a
+prefilter and may admit false positives).
+
+Instances are immutable; expansion produces new ones.  The ``black`` set
+is a bitmask so Gpsis stay small — they are the dominant memory cost of
+the whole framework.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..pattern.pattern import PatternGraph
+
+UNMAPPED = -1
+
+
+class Gpsi:
+    """One partial subgraph instance.
+
+    Parameters
+    ----------
+    mapping:
+        Tuple of data-vertex ids indexed by pattern vertex;
+        :data:`UNMAPPED` marks WHITE vertices.
+    black:
+        Bitmask of expanded (BLACK) pattern vertices.
+    next_vertex:
+        The GRAY pattern vertex the destination worker must expand, chosen
+        by the distribution strategy (or the initial pattern vertex for
+        freshly initialised instances).
+    """
+
+    __slots__ = ("mapping", "black", "next_vertex")
+
+    def __init__(self, mapping: Tuple[int, ...], black: int, next_vertex: int):
+        self.mapping = mapping
+        self.black = black
+        self.next_vertex = next_vertex
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, pattern: PatternGraph, init_vertex: int, data_vertex: int) -> "Gpsi":
+        """The one-pair Gpsi created by the initialization phase."""
+        mapping = [UNMAPPED] * pattern.num_vertices
+        mapping[init_vertex] = data_vertex
+        return cls(tuple(mapping), 0, init_vertex)
+
+    # ------------------------------------------------------------------
+    def is_mapped(self, vp: int) -> bool:
+        """Whether pattern vertex ``vp`` has a data image (GRAY or BLACK)."""
+        return self.mapping[vp] != UNMAPPED
+
+    def is_black(self, vp: int) -> bool:
+        """Whether ``vp`` has been expanded."""
+        return bool(self.black >> vp & 1)
+
+    def is_gray(self, vp: int) -> bool:
+        """Whether ``vp`` is mapped but not yet expanded."""
+        return self.mapping[vp] != UNMAPPED and not (self.black >> vp & 1)
+
+    def is_white(self, vp: int) -> bool:
+        """Whether ``vp`` is still unmapped."""
+        return self.mapping[vp] == UNMAPPED
+
+    def gray_vertices(self) -> List[int]:
+        """All GRAY pattern vertices (the expansion candidates)."""
+        return [
+            vp
+            for vp, vd in enumerate(self.mapping)
+            if vd != UNMAPPED and not (self.black >> vp & 1)
+        ]
+
+    def white_vertices(self) -> List[int]:
+        """All WHITE pattern vertices."""
+        return [vp for vp, vd in enumerate(self.mapping) if vd == UNMAPPED]
+
+    def mapped_data_vertices(self) -> List[int]:
+        """Data vertices already used by this instance (for injectivity)."""
+        return [vd for vd in self.mapping if vd != UNMAPPED]
+
+    def fully_mapped(self) -> bool:
+        """Whether every pattern vertex has a data image."""
+        return UNMAPPED not in self.mapping
+
+    def uncovered_edges(self, pattern: PatternGraph) -> List[Tuple[int, int]]:
+        """Pattern edges with no BLACK endpoint — still awaiting an exact
+        adjacency check."""
+        return [
+            (a, b)
+            for a, b in pattern.edges()
+            if not (self.black >> a & 1) and not (self.black >> b & 1)
+        ]
+
+    def is_complete(self, pattern: PatternGraph) -> bool:
+        """All vertices mapped and all edges exactly verified."""
+        if not self.fully_mapped():
+            return False
+        return not self.uncovered_edges(pattern)
+
+    def useful_grays(self, pattern: PatternGraph) -> List[int]:
+        """GRAY vertices whose expansion makes progress.
+
+        A GRAY vertex is useful when it is adjacent (in the pattern) to a
+        WHITE vertex, or to an endpoint of an uncovered edge.  For any
+        incomplete Gpsi of a connected pattern at least one exists.
+        """
+        result = []
+        uncovered = self.uncovered_edges(pattern)
+        uncovered_endpoints = {v for edge in uncovered for v in edge}
+        for vp in self.gray_vertices():
+            if any(self.is_white(w) for w in pattern.neighbors(vp)):
+                result.append(vp)
+            elif vp in uncovered_endpoints:
+                result.append(vp)
+        return result
+
+    # ------------------------------------------------------------------
+    def with_next(self, next_vertex: int) -> "Gpsi":
+        """Copy addressed at a different expansion vertex."""
+        return Gpsi(self.mapping, self.black, next_vertex)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gpsi):
+            return NotImplemented
+        return (
+            self.mapping == other.mapping
+            and self.black == other.black
+            and self.next_vertex == other.next_vertex
+        )
+
+    def __hash__(self):
+        return hash((self.mapping, self.black, self.next_vertex))
+
+    def __repr__(self) -> str:
+        cells = ",".join("?" if v == UNMAPPED else str(v) for v in self.mapping)
+        return f"Gpsi({{{cells}}}, black={self.black:b}, next=v{self.next_vertex + 1})"

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the PSgL reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+every library-originated failure with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """A data-graph operation received invalid input."""
+
+
+class GraphFormatError(GraphError):
+    """An edge-list file or stream could not be parsed."""
+
+
+class PatternError(ReproError):
+    """A pattern graph is malformed or unusable for listing."""
+
+
+class PartialOrderError(PatternError):
+    """A partial-order constraint set is inconsistent (contains a cycle)."""
+
+
+class EngineError(ReproError):
+    """The BSP engine was misused or reached an inconsistent state."""
+
+
+class DistributionError(ReproError):
+    """A distribution strategy could not pick an expansion vertex."""
+
+
+class SimulatedOOMError(ReproError):
+    """The simulated memory budget for intermediate results was exceeded.
+
+    Mirrors the Java ``OutOfMemoryError`` failures the paper reports for
+    PowerGraph and index-less PSgL runs (Tables 2 and 4).  The exception
+    carries enough context to render the paper's "OOM" table cells.
+    """
+
+    def __init__(self, live, budget, where=""):
+        self.live = live
+        self.budget = budget
+        self.where = where
+        suffix = f" in {where}" if where else ""
+        super().__init__(
+            f"simulated OOM{suffix}: {live} live intermediate results "
+            f"exceed budget of {budget}"
+        )

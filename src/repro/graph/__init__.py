@@ -1,0 +1,54 @@
+"""Data-graph substrate: storage, ordering, generation, I/O, partitioning."""
+
+from .graph import Edge, Graph, normalize_edge
+from .ordered import OrderedGraph
+from .generators import (
+    barabasi_albert,
+    rmat,
+    chung_lu_power_law,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    star_graph,
+)
+from .io import graph_from_string, read_edge_list, write_edge_list
+from .partition import Partition, hash_partition, random_partition, range_partition
+from .stats import (
+    SkewReport,
+    degree_distribution,
+    degree_histogram,
+    expected_nb_ns,
+    fit_power_law_gamma,
+    sampled_degree_distribution,
+    skew_report,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "normalize_edge",
+    "OrderedGraph",
+    "barabasi_albert",
+    "rmat",
+    "chung_lu_power_law",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi",
+    "grid_graph",
+    "star_graph",
+    "graph_from_string",
+    "read_edge_list",
+    "write_edge_list",
+    "Partition",
+    "hash_partition",
+    "random_partition",
+    "range_partition",
+    "SkewReport",
+    "degree_distribution",
+    "degree_histogram",
+    "expected_nb_ns",
+    "fit_power_law_gamma",
+    "sampled_degree_distribution",
+    "skew_report",
+]

@@ -1,0 +1,182 @@
+"""Immutable undirected data graph.
+
+The data graph is the substrate every other subsystem builds on.  It follows
+the paper's preliminaries (Section 3): simple, undirected, no labels on
+vertices or edges, no self loops.  Vertices are dense integers ``0..n-1``.
+
+Adjacency is stored as one sorted ``numpy`` array per vertex, which gives
+
+* ``O(log deg(v))`` edge-existence tests via binary search,
+* cache-friendly neighbourhood scans for the expansion inner loop,
+* cheap set intersections for the centralized baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` form of an undirected edge."""
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """A simple undirected graph with dense integer vertex ids.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0..num_vertices-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Duplicates and self loops are
+        silently dropped, matching the paper's preprocessing ("adding
+        reciprocal edge and eliminating loops").
+    """
+
+    __slots__ = ("_n", "_adj", "_degrees", "_m")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge]):
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = int(num_vertices)
+        neighbor_sets: List[set] = [set() for _ in range(self._n)]
+        for u, v in edges:
+            if u == v:
+                continue
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise GraphError(
+                    f"edge ({u}, {v}) out of range for {self._n} vertices"
+                )
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+        self._adj: List[np.ndarray] = [
+            np.fromiter(sorted(s), dtype=np.int64, count=len(s))
+            for s in neighbor_sets
+        ]
+        self._degrees = np.array([len(a) for a in self._adj], dtype=np.int64)
+        self._m = int(self._degrees.sum()) // 2
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._m
+
+    def vertices(self) -> range:
+        """All vertex ids as a ``range``."""
+        return range(self._n)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour array of ``v`` (do not mutate)."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """``deg(v) = |N(v)|``."""
+        return int(self._degrees[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex as an ``int64`` array (do not mutate)."""
+        return self._degrees
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        adj = self._adj[u]
+        # Probe the smaller adjacency list: same answer, less work.
+        if len(self._adj[v]) < len(adj):
+            adj, v = self._adj[v], u
+        i = int(np.searchsorted(adj, v))
+        return i < len(adj) and int(adj[i]) == v
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate every undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            adj = self._adj[u]
+            start = int(np.searchsorted(adj, u, side="right"))
+            for v in adj[start:]:
+                yield (u, int(v))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors and views
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Sequence[Edge]) -> "Graph":
+        """Build a graph sized to the maximum vertex id in ``edges``."""
+        edges = list(edges)
+        if not edges:
+            return cls(0, [])
+        n = max(max(u, v) for u, v in edges) + 1
+        return cls(n, edges)
+
+    def subgraph(self, keep: Iterable[int]) -> "Graph":
+        """Induced subgraph on ``keep``, *relabelled* to ``0..k-1``.
+
+        Returns the subgraph; the mapping from new ids to original ids is
+        the sorted order of ``keep``.
+        """
+        keep_sorted = sorted(set(keep))
+        index = {v: i for i, v in enumerate(keep_sorted)}
+        sub_edges = [
+            (index[u], index[v])
+            for u, v in self.edges()
+            if u in index and v in index
+        ]
+        return Graph(len(keep_sorted), sub_edges)
+
+    def max_degree(self) -> int:
+        """Largest degree in the graph (0 for an empty graph)."""
+        if self._n == 0:
+            return 0
+        return int(self._degrees.max())
+
+    def triangles_at(self, v: int) -> int:
+        """Number of triangles incident to ``v`` (neighbour-intersection)."""
+        count = 0
+        adj_v = self._adj[v]
+        adj_v_set = set(int(x) for x in adj_v)
+        for u in adj_v:
+            for w in self._adj[int(u)]:
+                w = int(w)
+                if w > u and w in adj_v_set:
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, v: int) -> bool:
+        return 0 <= v < self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._n != other._n or self._m != other._m:
+            return False
+        return all(
+            np.array_equal(a, b) for a, b in zip(self._adj, other._adj)
+        )
+
+    def __hash__(self):  # Graphs are mutable-free but not cheap to hash.
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self._n}, |E|={self._m})"

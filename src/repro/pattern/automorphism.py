@@ -1,0 +1,168 @@
+"""Automorphism detection and symmetry breaking (Section 5.2.1).
+
+Without preprocessing, a pattern with ``|Aut(Gp)|`` automorphisms reports
+every subgraph instance ``|Aut(Gp)|`` times (the square in Figure 1 is
+found eight times).  The paper removes the redundancy by assigning a
+*partial order* over pattern vertices so each instance survives under
+exactly one vertex permutation.
+
+The algorithm here follows the paper (and Grochow-Kellis) exactly:
+
+1. compute the automorphism group of the pattern;
+2. while the group is non-trivial, pick an *equivalent vertex group*
+   (orbit) — per **Heuristic 2** the orbit whose vertices have the highest
+   degree — eliminate one member by constraining it below the rest, and
+   shrink the group to the stabilizer of that member;
+3. repeat until only the identity remains.
+
+Patterns are tiny (the paper notes DFS handles 100-vertex patterns in
+seconds), so we enumerate the group by straightforward backtracking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .pattern import OrderPair, PatternGraph
+
+Permutation = Tuple[int, ...]
+
+
+def automorphisms(pattern: PatternGraph) -> List[Permutation]:
+    """Enumerate ``Aut(Gp)`` as tuples where ``perm[v]`` is the image of ``v``.
+
+    Backtracking with degree-based candidate filtering; exact and fast for
+    pattern-sized graphs.
+    """
+    n = pattern.num_vertices
+    degrees = [pattern.degree(v) for v in range(n)]
+    # Only vertices of equal degree can map to one another.
+    candidates = [
+        [u for u in range(n) if degrees[u] == degrees[v]] for v in range(n)
+    ]
+    result: List[Permutation] = []
+    image: List[int] = [-1] * n
+    used = [False] * n
+
+    def extend(v: int) -> None:
+        if v == n:
+            result.append(tuple(image))
+            return
+        for u in candidates[v]:
+            if used[u]:
+                continue
+            # Edges from v to already-assigned vertices must be preserved
+            # in both directions.
+            ok = True
+            for w in range(v):
+                if pattern.has_edge(v, w) != pattern.has_edge(u, image[w]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            image[v] = u
+            used[u] = True
+            extend(v + 1)
+            used[u] = False
+            image[v] = -1
+
+    extend(0)
+    return result
+
+
+def orbits(perms: Sequence[Permutation], n: int) -> List[FrozenSet[int]]:
+    """Partition ``0..n-1`` into orbits under the given permutations."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for perm in perms:
+        for v in range(n):
+            a, b = find(v), find(perm[v])
+            if a != b:
+                parent[a] = b
+    groups: Dict[int, Set[int]] = {}
+    for v in range(n):
+        groups.setdefault(find(v), set()).add(v)
+    return [frozenset(g) for g in groups.values()]
+
+
+def stabilizer(perms: Sequence[Permutation], v: int) -> List[Permutation]:
+    """Subgroup of permutations fixing vertex ``v``."""
+    return [p for p in perms if p[v] == v]
+
+
+def break_automorphisms(pattern: PatternGraph) -> PatternGraph:
+    """Return ``pattern`` with a symmetry-breaking partial order attached.
+
+    Implements the paper's iterative procedure with Heuristic 2 (break the
+    equivalent vertex group containing the highest-degree vertices first;
+    ties resolved toward larger orbits, then smaller vertex id, keeping
+    the output deterministic).  Any partial order already present on the
+    input is discarded and recomputed.
+
+    The resulting constraints make each subgraph instance representable by
+    exactly one mapping: for every non-identity automorphism there is some
+    constrained pair it reverses.
+    """
+    group = automorphisms(pattern)
+    constraints: Set[OrderPair] = set()
+    while len(group) > 1:
+        candidate_orbits = [o for o in orbits(group, pattern.num_vertices) if len(o) > 1]
+        # Heuristic 2: prefer orbits with higher-degree members.
+        def orbit_key(o: FrozenSet[int]) -> Tuple[int, int, int]:
+            max_deg = max(pattern.degree(v) for v in o)
+            return (max_deg, len(o), -min(o))
+
+        orbit = max(candidate_orbits, key=orbit_key)
+        pinned = min(orbit)
+        for other in sorted(orbit):
+            if other != pinned:
+                constraints.add((pinned, other))
+        group = stabilizer(group, pinned)
+    return pattern.with_partial_order(constraints)
+
+
+def count_order_preserving_automorphisms(pattern: PatternGraph) -> int:
+    """Number of automorphisms consistent with the pattern's partial order.
+
+    A permutation ``sigma`` is *consistent* when applying it to any mapping
+    that satisfies the constraints can still satisfy them, i.e. the
+    constraint digraph is preserved: ``(a, b)`` constrained implies
+    ``(sigma(a), sigma(b))`` does not contradict it.  After successful
+    breaking this equals 1 (only the identity), which is what guarantees
+    each instance is found exactly once.
+    """
+    order = pattern.partial_order
+    count = 0
+    for perm in automorphisms(pattern):
+        # sigma maps an ordered mapping to another mapping; the new mapping
+        # satisfies the constraints iff for every (a, b) the pair
+        # (perm[a], perm[b]) is implied by the original order's transitive
+        # closure.  For the sets produced here a direct containment check
+        # on the transitive closure suffices.
+        closure = _transitive_closure(order, pattern.num_vertices)
+        if all((perm[a], perm[b]) in closure for a, b in order):
+            count += 1
+    return count
+
+
+def _transitive_closure(
+    pairs: FrozenSet[OrderPair], n: int
+) -> Set[OrderPair]:
+    reachable: List[Set[int]] = [set() for _ in range(n)]
+    succ: List[Set[int]] = [set() for _ in range(n)]
+    for a, b in pairs:
+        succ[a].add(b)
+    for start in range(n):
+        stack = list(succ[start])
+        while stack:
+            x = stack.pop()
+            if x not in reachable[start]:
+                reachable[start].add(x)
+                stack.extend(succ[x])
+    return {(a, b) for a in range(n) for b in reachable[a]}

@@ -1,0 +1,186 @@
+"""The paper's pattern graphs PG1-PG5 (Figure 4) and friends.
+
+Figure 4 shows five patterns with the partial orders produced by
+automorphism breaking:
+
+* **PG1** — triangle; order ``v1<v2, v1<v3, v2<v3`` (full order).
+* **PG2** — square (4-cycle); order ``v1<v2, v1<v3, v1<v4, v2<v4``.
+* **PG3** — diamond (4-cycle plus one chord); order ``v1<v3, v2<v4``
+  (``v2, v4`` are the chord's degree-3 endpoints).
+* **PG4** — 4-clique; full order ``v1<v2<v3<v4`` (all six pairs).
+* **PG5** — house (triangle on a square, 5 vertices / 6 edges); order
+  ``v2<v5`` breaks the single mirror symmetry.
+
+Pattern vertices are 0-based internally; the classic 1-based labels from
+the figure are ``internal_id + 1``.  Each catalog entry's stored partial
+order matches what :func:`repro.pattern.automorphism.break_automorphisms`
+derives, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import PatternError
+from .automorphism import break_automorphisms
+from .pattern import PatternGraph
+
+
+def triangle() -> PatternGraph:
+    """PG1: the triangle, with its full symmetry-breaking order."""
+    return PatternGraph(
+        3,
+        [(0, 1), (1, 2), (0, 2)],
+        [(0, 1), (0, 2), (1, 2)],
+        name="PG1",
+    )
+
+
+def square() -> PatternGraph:
+    """PG2: the 4-cycle ``0-1-2-3-0``; |Aut| = 8 broken by four pairs."""
+    return PatternGraph(
+        4,
+        [(0, 1), (1, 2), (2, 3), (3, 0)],
+        [(0, 1), (0, 2), (0, 3), (1, 3)],
+        name="PG2",
+    )
+
+
+def diamond() -> PatternGraph:
+    """PG3: 4-cycle plus chord ``(1, 3)``; |Aut| = 4 broken by two pairs."""
+    return PatternGraph(
+        4,
+        [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)],
+        [(0, 2), (1, 3)],
+        name="PG3",
+    )
+
+
+def clique4() -> PatternGraph:
+    """PG4: K4; |Aut| = 24 broken by the full order."""
+    return PatternGraph(
+        4,
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        name="PG4",
+    )
+
+
+def house() -> PatternGraph:
+    """PG5: the house — a square with a triangle roof (5 vertices, 6 edges).
+
+    Apex ``v1`` (0-based 0) tops the roof triangle ``v1-v2-v5``; the square
+    is ``v2-v3-v4-v5`` sharing edge ``(v2, v5)`` with the roof.  The single
+    non-trivial automorphism mirrors ``v2<->v5`` and ``v3<->v4``; Heuristic
+    2 breaks the higher-degree orbit ``{v2, v5}`` first, and pinning ``v2``
+    below ``v5`` already kills the mirror — giving the order ``v2 < v5``
+    shown in Figure 4.
+    """
+    return PatternGraph(
+        5,
+        [(0, 1), (0, 4), (1, 4), (1, 2), (2, 3), (3, 4)],
+        [(1, 4)],
+        name="PG5",
+    )
+
+
+def clique(k: int) -> PatternGraph:
+    """K_k with the full symmetry-breaking order (generalizes PG1/PG4)."""
+    if k < 2:
+        raise PatternError(f"clique needs k >= 2, got {k}")
+    edges = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    return PatternGraph(k, edges, edges, name=f"K{k}")
+
+
+def cycle(k: int) -> PatternGraph:
+    """C_k with the symmetry-breaking order derived automatically."""
+    if k < 3:
+        raise PatternError(f"cycle needs k >= 3, got {k}")
+    raw = PatternGraph(k, [(i, (i + 1) % k) for i in range(k)], name=f"C{k}")
+    broken = break_automorphisms(raw)
+    return broken
+
+
+def path(k: int) -> PatternGraph:
+    """P_k (k vertices, k-1 edges) with its mirror symmetry broken."""
+    if k < 2:
+        raise PatternError(f"path needs k >= 2, got {k}")
+    raw = PatternGraph(k, [(i, i + 1) for i in range(k - 1)], name=f"P{k}")
+    return break_automorphisms(raw)
+
+
+def star(k: int) -> PatternGraph:
+    """K_{1,k-1}: hub 0 plus k-1 leaves, leaf symmetry broken."""
+    if k < 2:
+        raise PatternError(f"star needs k >= 2, got {k}")
+    raw = PatternGraph(k, [(0, i) for i in range(1, k)], name=f"S{k}")
+    return break_automorphisms(raw)
+
+
+def paper_patterns() -> Dict[str, PatternGraph]:
+    """All five Figure 4 patterns keyed by their paper names."""
+    return {
+        "PG1": triangle(),
+        "PG2": square(),
+        "PG3": diamond(),
+        "PG4": clique4(),
+        "PG5": house(),
+    }
+
+
+def get_pattern(name: str) -> PatternGraph:
+    """Look up a pattern by name: ``PG1``-``PG5``, ``K<k>``, ``C<k>``,
+    ``P<k>`` or ``S<k>``."""
+    named = paper_patterns()
+    if name in named:
+        return named[name]
+    if len(name) >= 2 and name[0] in "KCPS" and name[1:].isdigit():
+        k = int(name[1:])
+        factory = {"K": clique, "C": cycle, "P": path, "S": star}[name[0]]
+        return factory(k)
+    raise PatternError(f"unknown pattern {name!r}")
+
+
+def pattern_from_edges(text: str, name: str = "custom", auto_break: bool = True) -> PatternGraph:
+    """Parse a pattern from a compact edge-list string.
+
+    ``text`` lists 1-based edges like ``"1-2, 2-3, 3-1"`` (commas or
+    whitespace separate edges).  Automorphisms are broken by default so
+    the result is ready for listing.
+    """
+    edges = []
+    for chunk in text.replace(",", " ").split():
+        parts = chunk.split("-")
+        if len(parts) != 2:
+            raise PatternError(f"cannot parse edge {chunk!r} (want 'a-b')")
+        try:
+            u, v = int(parts[0]) - 1, int(parts[1]) - 1
+        except ValueError as exc:
+            raise PatternError(f"non-integer vertex in {chunk!r}") from exc
+        if u < 0 or v < 0:
+            raise PatternError(f"vertex ids are 1-based, got {chunk!r}")
+        edges.append((u, v))
+    if not edges:
+        raise PatternError("pattern needs at least one edge")
+    num_vertices = max(max(e) for e in edges) + 1
+    pattern = PatternGraph(num_vertices, edges, name=name)
+    return break_automorphisms(pattern) if auto_break else pattern
+
+
+def describe(pattern: PatternGraph) -> str:
+    """Human-readable rendering with the figure's 1-based labels."""
+    lines: List[str] = [
+        f"{pattern.name}: |Vp|={pattern.num_vertices} |Ep|={pattern.num_edges}",
+        "  edges: "
+        + ", ".join(f"(v{u + 1},v{v + 1})" for u, v in sorted(pattern.edges())),
+    ]
+    if pattern.partial_order:
+        lines.append(
+            "  order: "
+            + ", ".join(
+                f"v{a + 1}<v{b + 1}" for a, b in sorted(pattern.partial_order)
+            )
+        )
+    else:
+        lines.append("  order: (none)")
+    return "\n".join(lines)

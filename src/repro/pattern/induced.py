@@ -1,0 +1,132 @@
+"""Induced motif counts from non-induced listings.
+
+PSgL (like the paper) lists *non-induced* instances: a square with a
+chord still contains three squares.  Motif-significance analyses often
+want *induced* counts instead — vertex subsets whose induced subgraph is
+isomorphic to the motif.
+
+The two censuses are linearly related.  A non-induced instance of
+pattern ``P`` occupies exactly ``k`` vertices, whose induced subgraph is
+some supergraph ``Q`` of ``P`` (and ``Q`` is connected because ``P``
+is).  Hence
+
+    noninduced(P) = sum over motifs Q of  inst(P in Q) * induced(Q)
+
+where ``inst(P in Q)`` counts the distinct P-instances inside one copy of
+``Q``: the number of monomorphisms ``P -> Q`` divided by ``|Aut(P)|``.
+Ordering motifs by edge count makes the system upper triangular with a
+unit diagonal, so it inverts by back substitution — the classical Möbius
+inversion over the k-motif lattice.
+
+Everything here is exact: the patterns are tiny, so monomorphism counts
+come from brute-force backtracking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import PatternError
+from .automorphism import automorphisms
+from .enumeration import all_connected_patterns
+from .pattern import PatternGraph
+
+
+def count_monomorphisms(pattern: PatternGraph, host: PatternGraph) -> int:
+    """Number of injective edge-preserving maps ``pattern -> host``.
+
+    Both graphs must have the same vertex count (the induced-census use
+    case); partial orders are ignored.
+    """
+    if pattern.num_vertices != host.num_vertices:
+        raise PatternError(
+            "monomorphism counting here is for same-order graphs "
+            f"({pattern.num_vertices} vs {host.num_vertices} vertices)"
+        )
+    k = pattern.num_vertices
+    image = [-1] * k
+    used = [False] * k
+    count = 0
+
+    def extend(v: int) -> None:
+        nonlocal count
+        if v == k:
+            count += 1
+            return
+        for u in range(k):
+            if used[u]:
+                continue
+            ok = True
+            for w in range(v):
+                if pattern.has_edge(v, w) and not host.has_edge(u, image[w]):
+                    ok = False
+                    break
+            if ok:
+                image[v] = u
+                used[u] = True
+                extend(v + 1)
+                used[u] = False
+                image[v] = -1
+
+    extend(0)
+    return count
+
+
+def instances_within(pattern: PatternGraph, host: PatternGraph) -> int:
+    """Distinct ``pattern``-instances inside one copy of ``host``:
+    monomorphisms divided by ``|Aut(pattern)|``."""
+    monos = count_monomorphisms(pattern, host)
+    if monos == 0:
+        return 0
+    group = len(automorphisms(pattern))
+    assert monos % group == 0, "monomorphisms must split into Aut-orbits"
+    return monos // group
+
+
+def conversion_matrix(k: int) -> List[List[int]]:
+    """``M[i][j] = instances_within(P_i, P_j)`` over the k-motifs in
+    :func:`all_connected_patterns` order (edge count ascending).
+
+    Upper triangular with unit diagonal: a motif embeds only into motifs
+    with at least as many edges, and exactly once into itself.
+    """
+    motifs = all_connected_patterns(k, auto_break=False)
+    return [
+        [instances_within(p, q) for q in motifs]
+        for p in motifs
+    ]
+
+
+def induced_from_noninduced(noninduced: Dict[str, int], k: int) -> Dict[str, int]:
+    """Invert the census relation by back substitution.
+
+    ``noninduced`` maps motif names (``M<k>.<i>``) to PSgL's exactly-once
+    counts; returns the induced counts under the same names.
+    """
+    motifs = all_connected_patterns(k, auto_break=False)
+    names = [p.name for p in motifs]
+    missing = [n for n in names if n not in noninduced]
+    if missing:
+        raise PatternError(f"census is missing motifs: {missing}")
+    matrix = conversion_matrix(k)
+    m = len(motifs)
+    induced = [0] * m
+    # Densest motif first: nothing embeds strictly above it.
+    for i in range(m - 1, -1, -1):
+        value = noninduced[names[i]]
+        for j in range(i + 1, m):
+            value -= matrix[i][j] * induced[j]
+        if value < 0:
+            raise PatternError(
+                f"inconsistent census: induced count of {names[i]} is {value}"
+            )
+        induced[i] = value
+    return dict(zip(names, induced))
+
+
+def induced_census(graph, k: int, num_workers: int = 8, seed: int = 0) -> Dict[str, int]:
+    """Induced k-motif counts of ``graph`` via PSgL + Möbius inversion."""
+    from .enumeration import motif_census
+
+    noninduced = motif_census(graph, k, num_workers=num_workers, seed=seed)
+    return induced_from_noninduced(noninduced, k)

@@ -1,0 +1,123 @@
+"""Unit tests for automorphism detection and symmetry breaking."""
+
+from repro.pattern import (
+    PatternGraph,
+    automorphisms,
+    break_automorphisms,
+    count_order_preserving_automorphisms,
+    orbits,
+    paper_patterns,
+    stabilizer,
+)
+
+
+class TestAutomorphisms:
+    def test_triangle_group_size(self):
+        p = PatternGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert len(automorphisms(p)) == 6  # S3
+
+    def test_square_group_size(self):
+        p = PatternGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert len(automorphisms(p)) == 8  # dihedral D4
+
+    def test_clique4_group_size(self):
+        p = PatternGraph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert len(automorphisms(p)) == 24  # S4
+
+    def test_diamond_group_size(self):
+        p = PatternGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        assert len(automorphisms(p)) == 4
+
+    def test_house_group_size(self):
+        from repro.pattern import house
+
+        assert len(automorphisms(house())) == 2
+
+    def test_path_group_size(self):
+        p = PatternGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert len(automorphisms(p)) == 2  # identity + reversal
+
+    def test_asymmetric_pattern(self):
+        # Triangle with tails of different lengths on two of its corners:
+        # every vertex is structurally distinguished, so only the identity.
+        p = PatternGraph(6, [(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (4, 5)])
+        assert len(automorphisms(p)) == 1
+
+    def test_identity_always_present(self):
+        for pattern in paper_patterns().values():
+            assert tuple(range(pattern.num_vertices)) in automorphisms(pattern)
+
+    def test_every_automorphism_preserves_edges(self):
+        p = PatternGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        for perm in automorphisms(p):
+            for u, v in p.edges():
+                assert p.has_edge(perm[u], perm[v])
+
+
+class TestOrbitsAndStabilizer:
+    def test_square_single_orbit(self):
+        p = PatternGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        obs = orbits(automorphisms(p), 4)
+        assert len(obs) == 1
+        assert obs[0] == frozenset({0, 1, 2, 3})
+
+    def test_diamond_two_orbits(self):
+        p = PatternGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        obs = {frozenset(o) for o in orbits(automorphisms(p), 4)}
+        assert obs == {frozenset({0, 2}), frozenset({1, 3})}
+
+    def test_stabilizer_of_square_corner(self):
+        p = PatternGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        stab = stabilizer(automorphisms(p), 0)
+        assert len(stab) == 2
+        assert all(perm[0] == 0 for perm in stab)
+
+
+class TestBreaking:
+    def test_catalog_orders_are_what_the_breaker_derives(self):
+        """Figure 4's partial orders must come out of the algorithm."""
+        for name, pattern in paper_patterns().items():
+            derived = break_automorphisms(pattern.with_partial_order(()))
+            assert derived.partial_order == pattern.partial_order, name
+
+    def test_breaking_leaves_only_identity(self):
+        for pattern in paper_patterns().values():
+            assert count_order_preserving_automorphisms(pattern) == 1
+
+    def test_unbroken_pattern_preserves_whole_group(self):
+        p = PatternGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert count_order_preserving_automorphisms(p) == 6
+
+    def test_breaking_asymmetric_pattern_adds_nothing(self):
+        p = PatternGraph(6, [(0, 1), (1, 2), (0, 2), (0, 3), (1, 4), (4, 5)])
+        assert break_automorphisms(p).partial_order == frozenset()
+
+    def test_broken_cycle5(self):
+        p = PatternGraph(5, [(i, (i + 1) % 5) for i in range(5)])
+        broken = break_automorphisms(p)
+        assert count_order_preserving_automorphisms(broken) == 1
+
+    def test_broken_clique5_full_order(self):
+        p = PatternGraph(5, [(i, j) for i in range(5) for j in range(i + 1, 5)])
+        broken = break_automorphisms(p)
+        # S5 needs the complete order: C(5,2) pairs.
+        assert len(broken.partial_order) == 10
+
+    def test_heuristic2_prefers_high_degree_orbit(self):
+        # Diamond: degree-3 orbit {1,3} must be broken before {0,2},
+        # pinning vertex 1 (so (1,3) is a constraint).
+        p = PatternGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        broken = break_automorphisms(p)
+        assert (1, 3) in broken.partial_order
+        assert (0, 2) in broken.partial_order
+
+    def test_counts_collapse_by_group_order(self):
+        """On a data graph, instance multiplicity without breaking equals
+        |Aut| times the broken count."""
+        from repro.baselines.centralized import count_instances
+        from repro.graph import complete_graph
+
+        g = complete_graph(6)
+        raw = PatternGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        broken = break_automorphisms(raw)
+        assert count_instances(g, raw) == 8 * count_instances(g, broken)

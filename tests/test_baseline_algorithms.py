@@ -1,0 +1,174 @@
+"""Tests for the Afrati, SGIA-MR, PowerGraph and GraphChi baselines."""
+
+import pytest
+
+from repro.baselines import (
+    afrati_listing,
+    count_instances,
+    count_triangles,
+    default_edge_order,
+    graphchi_triangles,
+    powergraph_general,
+    powergraph_triangles,
+    sgia_mr_listing,
+    validate_traversal_order,
+)
+from repro.exceptions import PatternError, SimulatedOOMError
+from repro.graph import chung_lu_power_law, complete_graph, erdos_renyi
+from repro.pattern import clique4, diamond, paper_patterns, square, triangle
+
+
+@pytest.fixture(scope="module")
+def er():
+    return erdos_renyi(55, 0.15, seed=31)
+
+
+@pytest.fixture(scope="module")
+def powerlaw():
+    return chung_lu_power_law(250, 2.0, avg_degree=5, max_degree=40, seed=32)
+
+
+class TestAfrati:
+    @pytest.mark.parametrize("name", ["PG1", "PG2", "PG3", "PG4", "PG5"])
+    def test_counts_match_oracle(self, er, name):
+        pattern = paper_patterns()[name]
+        assert afrati_listing(er, pattern, num_reducers=8).count == count_instances(
+            er, pattern
+        )
+
+    def test_more_reducers_same_count(self, er):
+        for r in [1, 4, 27]:
+            assert afrati_listing(er, triangle(), num_reducers=r).count == \
+                count_instances(er, triangle())
+
+    def test_explicit_bucket_count(self, er):
+        result = afrati_listing(er, triangle(), num_reducers=8, bucket_count=3)
+        assert result.count == count_instances(er, triangle())
+
+    def test_replication_grows_with_pattern_size(self, er):
+        tri = afrati_listing(er, triangle(), num_reducers=16)
+        k4 = afrati_listing(er, clique4(), num_reducers=16)
+        assert k4.replication > tri.replication
+
+    def test_memory_budget(self, er):
+        with pytest.raises(SimulatedOOMError):
+            afrati_listing(er, clique4(), num_reducers=16, memory_budget=10)
+
+    def test_skewed_graph(self, powerlaw):
+        assert afrati_listing(powerlaw, triangle(), num_reducers=8).count == \
+            count_instances(powerlaw, triangle())
+
+    def test_makespan_positive(self, er):
+        assert afrati_listing(er, triangle()).makespan > 0
+
+
+class TestSgiaMr:
+    @pytest.mark.parametrize("name", ["PG1", "PG2", "PG3", "PG4", "PG5"])
+    def test_counts_match_oracle(self, er, name):
+        pattern = paper_patterns()[name]
+        assert sgia_mr_listing(er, pattern, num_reducers=8).count == count_instances(
+            er, pattern
+        )
+
+    def test_rounds_equal_pattern_edges(self, er):
+        result = sgia_mr_listing(er, square(), num_reducers=4)
+        assert result.rounds == square().num_edges
+
+    def test_default_edge_order_connected(self):
+        for pattern in paper_patterns().values():
+            order = default_edge_order(pattern)
+            assert len(order) == pattern.num_edges
+            covered = set(order[0])
+            for a, b in order[1:]:
+                assert a in covered or b in covered
+                covered.update((a, b))
+
+    def test_collect_instances(self, er):
+        result = sgia_mr_listing(
+            er, triangle(), num_reducers=4, collect_instances=True
+        )
+        assert len(result.embeddings) == result.count
+        for emb in result.embeddings:
+            a, b, c = emb
+            assert er.has_edge(a, b) and er.has_edge(b, c) and er.has_edge(a, c)
+
+    def test_memory_budget(self, er):
+        with pytest.raises(SimulatedOOMError):
+            sgia_mr_listing(er, square(), num_reducers=8, memory_budget=20)
+
+    def test_custom_edge_order(self, er):
+        order = [(0, 1), (1, 2), (0, 2)]
+        result = sgia_mr_listing(er, triangle(), edge_order=order)
+        assert result.count == count_instances(er, triangle())
+
+    def test_reducer_skew_exists_on_powerlaw(self, powerlaw):
+        result = sgia_mr_listing(powerlaw, square(), num_reducers=8)
+        assert max(r.reducer_skew for r in result.mr.rounds) > 1.2
+
+
+class TestPowerGraph:
+    def test_triangles_match(self, er):
+        assert powergraph_triangles(er).count == count_instances(er, triangle())
+
+    def test_triangles_balanced_by_vertex_cut(self, powerlaw):
+        result = powergraph_triangles(powerlaw, num_machines=8)
+        costs = [c for c in result.machine_costs if c > 0]
+        assert max(costs) / (sum(costs) / len(costs)) < 3.0
+
+    @pytest.mark.parametrize("name", ["PG1", "PG2", "PG3", "PG4", "PG5"])
+    def test_general_counts_match_oracle(self, er, name):
+        pattern = paper_patterns()[name]
+        result = powergraph_general(er, pattern, num_machines=8)
+        assert result.count == count_instances(er, pattern)
+
+    def test_traversal_order_validation(self):
+        with pytest.raises(PatternError):
+            validate_traversal_order(square(), [0, 2, 1, 3])  # 2 not adjacent to 0
+        with pytest.raises(PatternError):
+            validate_traversal_order(square(), [0, 1, 1, 3])
+        validate_traversal_order(square(), [0, 1, 2, 3])  # ok
+
+    def test_custom_order_same_count(self, er):
+        base = powergraph_general(er, diamond(), num_machines=4)
+        other = powergraph_general(
+            er, diamond(), traversal_order=[1, 3, 0, 2], num_machines=4
+        )
+        assert base.count == other.count
+
+    def test_total_memory_budget(self, er):
+        with pytest.raises(SimulatedOOMError):
+            powergraph_general(er, square(), memory_budget=5)
+
+    def test_worker_memory_budget(self, powerlaw):
+        with pytest.raises(SimulatedOOMError):
+            powergraph_general(powerlaw, square(), worker_memory_budget=3)
+
+    def test_peak_live_tracked(self, er):
+        result = powergraph_general(er, square(), num_machines=4)
+        assert result.peak_live > 0
+        assert result.peak_machine_live <= result.peak_live
+
+    def test_makespan_sums_rounds(self, er):
+        result = powergraph_general(er, triangle(), num_machines=4)
+        assert result.makespan == pytest.approx(sum(result.round_makespans))
+
+
+class TestGraphChi:
+    def test_count_matches(self, er):
+        assert graphchi_triangles(er).count == count_triangles(er)
+
+    def test_single_node_costs_total(self, er):
+        chi = graphchi_triangles(er, num_shards=8)
+        power = powergraph_triangles(er, num_machines=8)
+        # same kernel, but GraphChi serialises it all on one machine
+        assert chi.compute_cost == pytest.approx(power.total_cost)
+        assert chi.makespan > power.makespan
+
+    def test_io_grows_with_shards(self, er):
+        few = graphchi_triangles(er, num_shards=2)
+        many = graphchi_triangles(er, num_shards=8)
+        assert many.io_cost > few.io_cost
+        assert few.count == many.count
+
+    def test_skewed_graph(self, powerlaw):
+        assert graphchi_triangles(powerlaw).count == count_triangles(powerlaw)

@@ -1,0 +1,202 @@
+"""Unit tests for the BSP engine, messages, metrics and workers."""
+
+import pytest
+
+from repro.bsp import BSPEngine, CostLedger, Message, MessageStore, VertexProgram
+from repro.exceptions import EngineError, SimulatedOOMError
+from repro.graph import Graph, hash_partition, random_partition
+
+
+class EchoOnce(VertexProgram):
+    """Superstep 0: every vertex sends its id to each neighbour.
+    Superstep 1: sums arrive; nothing further is sent."""
+
+    def __init__(self):
+        self.received = {}
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            for u in ctx.graph.neighbors(ctx.vertex):
+                ctx.send(int(u), ctx.vertex)
+            ctx.add_cost(ctx.graph.degree(ctx.vertex))
+        else:
+            self.received[ctx.vertex] = sorted(messages)
+            ctx.emit((ctx.vertex, len(messages)))
+
+
+def path_graph(n):
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestEngineBasics:
+    def test_two_superstep_echo(self):
+        g = path_graph(4)
+        engine = BSPEngine(g, hash_partition(4, 2))
+        program = EchoOnce()
+        result = engine.run(program)
+        assert result.supersteps == 2
+        assert program.received[0] == [1]
+        assert program.received[1] == [0, 2]
+        assert sorted(result.outputs) == [(0, 1), (1, 2), (2, 2), (3, 1)]
+
+    def test_messages_counted(self):
+        g = path_graph(4)
+        result = BSPEngine(g, hash_partition(4, 2)).run(EchoOnce())
+        assert result.ledger.total_messages() == 6  # 2 * |E|
+
+    def test_makespan_positive(self):
+        g = path_graph(5)
+        result = BSPEngine(g, hash_partition(5, 2)).run(EchoOnce())
+        assert result.makespan > 0
+
+    def test_partition_size_mismatch_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(EngineError):
+            BSPEngine(g, hash_partition(3, 2))
+
+    def test_program_without_messages_halts_after_one_superstep(self):
+        class Silent(VertexProgram):
+            def compute(self, ctx, messages):
+                ctx.add_cost(1)
+
+        result = BSPEngine(path_graph(3), hash_partition(3, 1)).run(Silent())
+        assert result.supersteps == 1
+
+    def test_max_supersteps_guard(self):
+        class PingPong(VertexProgram):
+            def compute(self, ctx, messages):
+                ctx.send(ctx.vertex, "again")
+
+        engine = BSPEngine(path_graph(2), hash_partition(2, 1), max_supersteps=5)
+        with pytest.raises(EngineError):
+            engine.run(PingPong())
+
+    def test_initial_active_subset(self):
+        class OnlyZero(VertexProgram):
+            seen = []
+
+            def initial_active_vertices(self, graph):
+                return [0]
+
+            def compute(self, ctx, messages):
+                OnlyZero.seen.append(ctx.vertex)
+
+        OnlyZero.seen = []
+        BSPEngine(path_graph(4), hash_partition(4, 2)).run(OnlyZero())
+        assert OnlyZero.seen == [0]
+
+    def test_memory_budget_triggers_oom(self):
+        class Flood(VertexProgram):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    for _ in range(10):
+                        ctx.send(ctx.vertex, "x")
+
+        engine = BSPEngine(path_graph(4), hash_partition(4, 2), memory_budget=5)
+        with pytest.raises(SimulatedOOMError):
+            engine.run(Flood())
+
+    def test_worker_state_persists_across_supersteps(self):
+        class Counter(VertexProgram):
+            totals = {}
+
+            def compute(self, ctx, messages):
+                ctx.worker_state["n"] = ctx.worker_state.get("n", 0) + 1
+                Counter.totals[ctx.worker_id] = ctx.worker_state["n"]
+                if ctx.superstep == 0:
+                    ctx.send(ctx.vertex, "tick")
+
+        Counter.totals = {}
+        BSPEngine(path_graph(4), hash_partition(4, 2)).run(Counter())
+        # each worker computed its 2 vertices twice (superstep 0 and 1)
+        assert all(n == 4 for n in Counter.totals.values())
+
+
+class TestMessageStore:
+    def test_add_take(self):
+        store = MessageStore()
+        store.add(Message(3, "a"))
+        store.add(Message(3, "b"))
+        assert len(store) == 2
+        assert store.take(3) == ["a", "b"]
+        assert len(store) == 0
+
+    def test_take_missing_vertex(self):
+        assert MessageStore().take(9) == []
+
+    def test_destinations(self):
+        store = MessageStore()
+        store.extend([Message(1, "x"), Message(2, "y")])
+        assert sorted(store.destinations()) == [1, 2]
+
+    def test_bool(self):
+        store = MessageStore()
+        assert not store
+        store.add(Message(0, 1))
+        assert store
+
+
+class TestCostLedger:
+    def test_makespan_is_sum_of_maxima(self):
+        ledger = CostLedger(2)
+        ledger.begin_superstep(0)
+        ledger.add_cost(0, 10.0)
+        ledger.add_cost(1, 4.0)
+        ledger.end_superstep(0)
+        ledger.begin_superstep(1)
+        ledger.add_cost(0, 1.0)
+        ledger.add_cost(1, 7.0)
+        ledger.end_superstep(0)
+        assert ledger.makespan() == 17.0
+        assert ledger.total_cost() == 22.0
+
+    def test_worker_totals(self):
+        ledger = CostLedger(2)
+        ledger.begin_superstep(0)
+        ledger.add_cost(0, 3.0)
+        ledger.end_superstep(0)
+        assert ledger.worker_totals() == [3.0, 0.0]
+
+    def test_imbalance_balanced(self):
+        ledger = CostLedger(2)
+        ledger.begin_superstep(0)
+        ledger.add_cost(0, 5.0)
+        ledger.add_cost(1, 5.0)
+        ledger.end_superstep(0)
+        assert ledger.imbalance() == 1.0
+
+    def test_imbalance_empty(self):
+        assert CostLedger(3).imbalance() == 1.0
+
+    def test_oom_raised_at_barrier(self):
+        ledger = CostLedger(1, memory_budget=10)
+        ledger.begin_superstep(0)
+        with pytest.raises(SimulatedOOMError):
+            ledger.end_superstep(live_messages=11)
+
+    def test_peak_live_tracked(self):
+        ledger = CostLedger(1)
+        ledger.begin_superstep(0)
+        ledger.end_superstep(live_messages=42)
+        ledger.begin_superstep(1)
+        ledger.end_superstep(live_messages=7)
+        assert ledger.peak_live_messages == 42
+
+    def test_summary_keys(self):
+        ledger = CostLedger(1)
+        ledger.begin_superstep(0)
+        ledger.end_superstep(0)
+        summary = ledger.summary()
+        assert {"supersteps", "makespan", "total_cost", "messages"} <= set(summary)
+
+
+class TestPartitions:
+    def test_random_partition_covers_all(self):
+        p = random_partition(100, 7, seed=1)
+        assert sum(p.sizes()) == 100
+
+    def test_owner_consistent_with_vertices_of(self):
+        p = random_partition(50, 4, seed=2)
+        for w in range(4):
+            for v in p.vertices_of(w):
+                assert p.owner(int(v)) == w

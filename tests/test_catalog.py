@@ -1,0 +1,153 @@
+"""Unit tests for the PG1-PG5 pattern catalog."""
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.pattern import (
+    clique,
+    cycle,
+    describe,
+    diamond,
+    get_pattern,
+    house,
+    paper_patterns,
+    path,
+    square,
+    star,
+    triangle,
+)
+
+
+class TestPaperPatterns:
+    def test_all_five_present(self):
+        pats = paper_patterns()
+        assert set(pats) == {"PG1", "PG2", "PG3", "PG4", "PG5"}
+
+    def test_pg1_is_triangle(self):
+        p = triangle()
+        assert (p.num_vertices, p.num_edges) == (3, 3)
+
+    def test_pg2_is_square(self):
+        p = square()
+        assert (p.num_vertices, p.num_edges) == (4, 4)
+        assert all(p.degree(v) == 2 for v in p.vertices())
+
+    def test_pg3_is_diamond(self):
+        p = diamond()
+        assert (p.num_vertices, p.num_edges) == (4, 5)
+        assert sorted(p.degree(v) for v in p.vertices()) == [2, 2, 3, 3]
+
+    def test_pg4_is_clique(self):
+        p = get_pattern("PG4")
+        assert all(p.degree(v) == 3 for v in p.vertices())
+
+    def test_pg5_is_house(self):
+        p = house()
+        assert (p.num_vertices, p.num_edges) == (5, 6)
+        assert sorted(p.degree(v) for v in p.vertices()) == [2, 2, 2, 3, 3]
+
+    def test_paper_partial_orders(self):
+        """The exact orders printed under Figure 4."""
+        assert triangle().partial_order == frozenset({(0, 1), (0, 2), (1, 2)})
+        assert square().partial_order == frozenset(
+            {(0, 1), (0, 2), (0, 3), (1, 3)}
+        )
+        assert diamond().partial_order == frozenset({(0, 2), (1, 3)})
+        assert len(get_pattern("PG4").partial_order) == 6
+        assert house().partial_order == frozenset({(1, 4)})
+
+
+class TestFamilies:
+    def test_clique_factory(self):
+        k5 = clique(5)
+        assert k5.num_edges == 10
+        assert len(k5.partial_order) == 10
+
+    def test_clique_too_small(self):
+        with pytest.raises(PatternError):
+            clique(1)
+
+    def test_cycle_factory_breaks_symmetry(self):
+        from repro.pattern import count_order_preserving_automorphisms
+
+        c5 = cycle(5)
+        assert c5.num_edges == 5
+        assert count_order_preserving_automorphisms(c5) == 1
+
+    def test_cycle_too_small(self):
+        with pytest.raises(PatternError):
+            cycle(2)
+
+    def test_path_factory(self):
+        p4 = path(4)
+        assert p4.num_edges == 3
+
+    def test_star_factory(self):
+        s5 = star(5)
+        assert s5.degree(0) == 4
+
+
+class TestGetPattern:
+    def test_paper_names(self):
+        for name in ["PG1", "PG2", "PG3", "PG4", "PG5"]:
+            assert get_pattern(name).name == name
+
+    def test_family_names(self):
+        assert get_pattern("K4").num_edges == 6
+        assert get_pattern("C6").num_edges == 6
+        assert get_pattern("P3").num_edges == 2
+        assert get_pattern("S4").num_edges == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(PatternError):
+            get_pattern("PG9")
+
+    def test_garbage_name(self):
+        with pytest.raises(PatternError):
+            get_pattern("nope")
+
+
+class TestDescribe:
+    def test_describe_mentions_one_based_labels(self):
+        text = describe(triangle())
+        assert "v1<v2" in text
+        assert "(v1,v2)" in text
+
+    def test_describe_orderless(self):
+        from repro.pattern import PatternGraph
+
+        text = describe(PatternGraph(2, [(0, 1)], name="edge"))
+        assert "(none)" in text
+
+
+class TestPatternFromEdges:
+    def test_triangle_parsed_and_broken(self):
+        from repro.pattern import count_order_preserving_automorphisms, pattern_from_edges
+
+        p = pattern_from_edges("1-2, 2-3, 3-1")
+        assert p.num_vertices == 3
+        assert count_order_preserving_automorphisms(p) == 1
+
+    def test_whitespace_separators(self):
+        from repro.pattern import pattern_from_edges
+
+        p = pattern_from_edges("1-2 2-3")
+        assert p.num_edges == 2
+
+    def test_no_break_option(self):
+        from repro.pattern import pattern_from_edges
+
+        p = pattern_from_edges("1-2,2-3,3-1", auto_break=False)
+        assert p.partial_order == frozenset()
+
+    def test_bad_edge_format(self):
+        from repro.pattern import pattern_from_edges
+
+        with pytest.raises(PatternError):
+            pattern_from_edges("1=2")
+        with pytest.raises(PatternError):
+            pattern_from_edges("a-b")
+        with pytest.raises(PatternError):
+            pattern_from_edges("0-1")
+        with pytest.raises(PatternError):
+            pattern_from_edges("")

@@ -1,0 +1,100 @@
+"""Unit tests for the centralized enumerator and triangle counter."""
+
+from repro.baselines import (
+    count_instances,
+    count_triangles,
+    enumerate_instances,
+    list_triangles,
+)
+from repro.graph import (
+    OrderedGraph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    star_graph,
+)
+from repro.pattern import PatternGraph, clique4, paper_patterns, square, triangle
+
+
+class TestEnumerator:
+    def test_triangles_closed_form(self):
+        assert count_instances(complete_graph(6), triangle()) == 20
+
+    def test_yields_actual_mappings(self):
+        g = complete_graph(4)
+        for mapping in enumerate_instances(g, triangle()):
+            a, b, c = mapping
+            assert g.has_edge(a, b) and g.has_edge(b, c) and g.has_edge(a, c)
+
+    def test_respects_partial_order(self):
+        g = complete_graph(5)
+        ordered = OrderedGraph(g)
+        for mapping in enumerate_instances(g, triangle(), ordered):
+            assert ordered.precedes(mapping[0], mapping[1])
+            assert ordered.precedes(mapping[1], mapping[2])
+
+    def test_orderless_pattern_counts_every_automorphism(self):
+        g = complete_graph(4)
+        raw = PatternGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert count_instances(g, raw) == 6 * 4  # |S3| * C(4,3)
+
+    def test_injective_only(self):
+        # single edge as "triangle" would need a repeated vertex
+        g = cycle_graph(4)
+        assert count_instances(g, triangle()) == 0
+
+    def test_non_induced_semantics(self):
+        # K4 contains squares even though each has both chords present
+        assert count_instances(complete_graph(4), square()) == 3
+
+    def test_empty_result_on_sparse_graph(self):
+        assert count_instances(star_graph(8), clique4()) == 0
+
+    def test_reuses_prebuilt_ordering(self):
+        g = erdos_renyi(40, 0.2, seed=1)
+        ordered = OrderedGraph(g)
+        direct = count_instances(g, square())
+        assert count_instances(g, square(), ordered) == direct
+
+
+class TestTriangleListing:
+    def test_matches_enumerator(self):
+        g = erdos_renyi(80, 0.12, seed=2)
+        assert count_triangles(g) == count_instances(g, triangle())
+
+    def test_each_triangle_once_rank_sorted(self):
+        g = complete_graph(5)
+        ordered = OrderedGraph(g)
+        seen = set()
+        for a, b, c in list_triangles(g):
+            assert ordered.precedes(a, b) and ordered.precedes(b, c)
+            key = frozenset((a, b, c))
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == 10
+
+    def test_triangle_free_graphs(self):
+        assert count_triangles(grid_graph(4, 4)) == 0
+        assert count_triangles(star_graph(9)) == 0
+
+    def test_skewed_graph(self):
+        from repro.graph import chung_lu_power_law
+
+        g = chung_lu_power_law(300, 2.0, avg_degree=6, max_degree=50, seed=3)
+        assert count_triangles(g) == count_instances(g, triangle())
+
+
+class TestAllPaperPatterns:
+    def test_oracle_agrees_with_itself_on_relabeling(self):
+        """Relabelling a pattern must not change its (broken) count."""
+        from repro.pattern import break_automorphisms
+
+        g = erdos_renyi(40, 0.2, seed=4)
+        for pattern in paper_patterns().values():
+            k = pattern.num_vertices
+            rotated = pattern.with_partial_order(()).relabeled(
+                [(i + 1) % k for i in range(k)]
+            )
+            rebroken = break_automorphisms(rotated)
+            assert count_instances(g, rebroken) == count_instances(g, pattern)

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import complete_graph, write_edge_list
+
+
+class TestCount:
+    def test_count_on_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "k5.txt"
+        write_edge_list(complete_graph(5), path)
+        assert main(["count", "--pattern", "PG1", "--edge-list", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "instances  : 10" in out
+
+    def test_count_on_dataset(self, capsys):
+        code = main(
+            [
+                "count",
+                "--pattern",
+                "PG1",
+                "--dataset",
+                "randgraph",
+                "--scale",
+                "0.1",
+                "--workers",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "instances" in capsys.readouterr().out
+
+    def test_count_with_forced_initial_vertex(self, tmp_path, capsys):
+        path = tmp_path / "k5.txt"
+        write_edge_list(complete_graph(5), path)
+        main(
+            [
+                "count",
+                "--pattern",
+                "PG2",
+                "--edge-list",
+                str(path),
+                "--initial-vertex",
+                "2",
+            ]
+        )
+        assert "initial vp : v2" in capsys.readouterr().out
+
+    def test_count_no_index(self, tmp_path, capsys):
+        path = tmp_path / "k4.txt"
+        write_edge_list(complete_graph(4), path)
+        main(["count", "--pattern", "PG1", "--edge-list", str(path), "--no-index"])
+        assert "instances  : 4" in capsys.readouterr().out
+
+    def test_family_pattern_name(self, tmp_path, capsys):
+        path = tmp_path / "k6.txt"
+        write_edge_list(complete_graph(6), path)
+        main(["count", "--pattern", "K5", "--edge-list", str(path)])
+        assert "instances  : 6" in capsys.readouterr().out
+
+
+class TestInfoCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "wikitalk" in out and "WikiTalk" in out
+
+    def test_patterns(self, capsys):
+        assert main(["patterns"]) == 0
+        out = capsys.readouterr().out
+        for name in ["PG1", "PG2", "PG3", "PG4", "PG5"]:
+            assert name in out
+
+
+class TestBench:
+    def test_bench_single_experiment(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--experiments",
+                "fig4",
+                "--scale",
+                "0.1",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "fig4.txt").exists()
+
+
+class TestParsing:
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_count_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["count", "--pattern", "PG1"])
+
+
+class TestStats:
+    def test_stats_on_dataset(self, capsys):
+        assert main(["stats", "--dataset", "randgraph", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "avg degree" in out and "gamma degree" in out
+
+    def test_stats_on_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(complete_graph(6), path)
+        main(["stats", "--edge-list", str(path)])
+        assert "max degree   : 5" in capsys.readouterr().out
+
+
+class TestCustomPattern:
+    def test_count_with_pattern_edges(self, tmp_path, capsys):
+        path = tmp_path / "k5.txt"
+        write_edge_list(complete_graph(5), path)
+        main(["count", "--pattern-edges", "1-2,2-3,3-1", "--edge-list", str(path)])
+        assert "instances  : 10" in capsys.readouterr().out
+
+    def test_pattern_and_edges_mutually_exclusive(self, tmp_path):
+        path = tmp_path / "k5.txt"
+        write_edge_list(complete_graph(5), path)
+        with pytest.raises(SystemExit):
+            main([
+                "count", "--pattern", "PG1", "--pattern-edges", "1-2",
+                "--edge-list", str(path),
+            ])

@@ -1,0 +1,92 @@
+"""Unit and property tests for the Gpsi wire codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import CodecError, Gpsi, UNMAPPED, decode_gpsi, encode_gpsi, encoded_size
+
+
+class TestRoundTrip:
+    def test_initial_gpsi(self):
+        from repro.pattern import square
+
+        g = Gpsi.initial(square(), 0, 42)
+        assert decode_gpsi(encode_gpsi(g)) == g
+
+    def test_partial_gpsi(self):
+        g = Gpsi((5, UNMAPPED, 1_000_000, 0), 0b1001, 3)
+        assert decode_gpsi(encode_gpsi(g)) == g
+
+    def test_unset_next_vertex(self):
+        g = Gpsi((7, 8), 0b01, -1)
+        decoded = decode_gpsi(encode_gpsi(g))
+        assert decoded.next_vertex == -1
+
+    def test_size_small_for_small_ids(self):
+        g = Gpsi((1, 2, 3, 4, 5), 0b00111, 4)
+        assert encoded_size(g) <= 8  # header 2 + mask 1 + 5 single-byte cells
+
+    def test_size_grows_with_large_ids(self):
+        small = Gpsi((1, 2), 0, 0)
+        big = Gpsi((2**40, 2**40 + 1), 0, 0)
+        assert encoded_size(big) > encoded_size(small)
+
+    @given(
+        st.lists(
+            st.one_of(st.just(UNMAPPED), st.integers(min_value=0, max_value=2**48)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0),
+        st.integers(min_value=-1, max_value=7),
+    )
+    def test_roundtrip_property(self, mapping, black_seed, next_vertex):
+        k = len(mapping)
+        # black may only cover mapped cells; mask the seed accordingly
+        black = 0
+        for vp in range(k):
+            if mapping[vp] != UNMAPPED and black_seed >> vp & 1:
+                black |= 1 << vp
+        next_vertex = min(next_vertex, k - 1)
+        g = Gpsi(tuple(mapping), black, next_vertex)
+        assert decode_gpsi(encode_gpsi(g)) == g
+
+
+class TestValidation:
+    def test_truncated_header(self):
+        with pytest.raises(CodecError):
+            decode_gpsi(b"\x03")
+
+    def test_truncated_varint(self):
+        g = Gpsi((1, 2, 3), 0, 0)
+        data = encode_gpsi(g)
+        with pytest.raises(CodecError):
+            decode_gpsi(data[:-1])
+
+    def test_trailing_garbage(self):
+        data = encode_gpsi(Gpsi((1,), 0, 0)) + b"\x00"
+        with pytest.raises(CodecError):
+            decode_gpsi(data)
+
+    def test_next_vertex_out_of_range(self):
+        data = bytearray(encode_gpsi(Gpsi((1, 2), 0, 0)))
+        data[1] = 9  # |Vp| is 2
+        with pytest.raises(CodecError):
+            decode_gpsi(bytes(data))
+
+    def test_black_mask_too_wide(self):
+        data = bytearray(encode_gpsi(Gpsi((1,), 0, 0)))
+        data[2] = 0b10  # bit 1 for a 1-vertex pattern
+        with pytest.raises(CodecError):
+            decode_gpsi(bytes(data))
+
+    def test_black_unmapped_inconsistency(self):
+        # hand-craft: k=1, next=0, black=1, mapping cell 0 (unmapped)
+        with pytest.raises(CodecError):
+            decode_gpsi(bytes([1, 0, 1, 0]))
+
+    def test_negative_varint_rejected_at_encode(self):
+        from repro.core.codec import _write_varint
+
+        with pytest.raises(CodecError):
+            _write_varint(-1, bytearray())

@@ -1,0 +1,118 @@
+"""Unit tests for the cost model and the bloom filter."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BloomFilter,
+    CostParameters,
+    binomial,
+    estimate_f,
+    estimate_load,
+    expected_f_from_distribution,
+    optimal_parameters,
+)
+from repro.exceptions import ReproError
+
+
+class TestBinomial:
+    def test_small_values_exact(self):
+        assert binomial(5, 2) == pytest.approx(10.0)
+        assert binomial(10, 0) == 1.0
+        assert binomial(7, 7) == pytest.approx(1.0)
+
+    def test_out_of_range_zero(self):
+        assert binomial(3, 5) == 0.0
+        assert binomial(-1, 0) == 0.0
+        assert binomial(3, -1) == 0.0
+
+    def test_large_values_capped(self):
+        assert binomial(10_000, 5_000) == 1e18
+
+    def test_matches_math_comb(self):
+        for n in range(0, 30):
+            for k in range(0, n + 1):
+                assert binomial(n, k) == pytest.approx(math.comb(n, k), rel=1e-9)
+
+
+class TestEstimates:
+    def test_estimate_f_verification_is_one(self):
+        assert estimate_f(100, 0) == 1.0
+
+    def test_estimate_f_upper_bound(self):
+        assert estimate_f(10, 2) == pytest.approx(45.0)
+
+    def test_estimate_load_equation2(self):
+        costs = CostParameters(gray_check=2.0, scan=1.0, ce=3.0)
+        assert estimate_load(4, 1, costs) == pytest.approx(2.0 + 3.0 * 4.0)
+
+    def test_expected_f_from_distribution(self):
+        dist = {2: 0.5, 4: 0.5}
+        # min degree 3 keeps only d=4: 0.5 * C(4,2) = 3
+        assert expected_f_from_distribution(dist, 3, 2) == pytest.approx(3.0)
+
+    def test_expected_f_empty(self):
+        assert expected_f_from_distribution({}, 0, 1) == 0.0
+
+    def test_expected_f_capped(self):
+        dist = {100000: 1.0}
+        assert expected_f_from_distribution(dist, 0, 4) == 1e18
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(1000, 0.01, seed=1)
+        keys = list(range(0, 5000, 5))
+        for k in keys:
+            bloom.add(k)
+        assert all(k in bloom for k in keys)
+
+    def test_fp_rate_near_target(self):
+        bloom = BloomFilter(2000, 0.02, seed=2)
+        for k in range(2000):
+            bloom.add(k)
+        false_positives = sum(1 for k in range(10_000, 40_000) if k in bloom)
+        assert false_positives / 30_000 < 0.06  # 3x slack on the 2% target
+
+    def test_estimated_fp_rate_reasonable(self):
+        bloom = BloomFilter(500, 0.01, seed=3)
+        for k in range(500):
+            bloom.add(k)
+        assert 0.0 < bloom.estimated_fp_rate() < 0.05
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(100, 0.01)
+        assert 42 not in bloom
+
+    def test_determinism_across_instances(self):
+        a = BloomFilter(100, 0.01, seed=9)
+        b = BloomFilter(100, 0.01, seed=9)
+        for k in [3, 1000, 77777]:
+            a.add(k)
+            b.add(k)
+        probe = [k in a for k in range(200)]
+        assert probe == [k in b for k in range(200)]
+
+    def test_memory_bytes_positive(self):
+        assert BloomFilter(100, 0.01).memory_bytes() > 0
+
+    def test_optimal_parameters_monotone(self):
+        m_small, _ = optimal_parameters(100, 0.01)
+        m_big, _ = optimal_parameters(1000, 0.01)
+        assert m_big > m_small
+        m_loose, _ = optimal_parameters(100, 0.1)
+        assert m_loose < m_small
+
+    def test_invalid_fp_rate(self):
+        with pytest.raises(ReproError):
+            optimal_parameters(100, 0.0)
+        with pytest.raises(ReproError):
+            optimal_parameters(100, 1.5)
+
+    def test_zero_items_clamped(self):
+        m, k = optimal_parameters(0, 0.5)
+        assert m >= 8 and k >= 1
+
+    def test_repr(self):
+        assert "BloomFilter" in repr(BloomFilter(10, 0.1))

@@ -1,0 +1,143 @@
+"""Unit tests for the distribution strategies (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Gpsi,
+    RandomStrategy,
+    RouletteStrategy,
+    UNMAPPED,
+    WorkloadAwareStrategy,
+    make_strategy,
+)
+from repro.exceptions import DistributionError
+from repro.graph import Graph, hash_partition
+from repro.pattern import square
+
+
+def worker_state(seed=0):
+    return {"dist_rng": np.random.default_rng(seed)}
+
+
+@pytest.fixture
+def setup():
+    # star-ish graph: vertex 0 is a hub (degree 4), 5/6 are low degree.
+    g = Graph(7, [(0, 1), (0, 2), (0, 3), (0, 4), (5, 6), (5, 0)])
+    pattern = square()
+    partition = hash_partition(7, 2)
+    # gpsi with two grays: v2 -> hub 0, v4 -> leaf 6
+    gpsi = Gpsi((5, 0, UNMAPPED, 6), black=0b0001, next_vertex=-1)
+    return g, pattern, partition, gpsi
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_strategy("random").name == "random"
+        assert make_strategy("roulette").name == "roulette"
+        assert make_strategy("workload-aware", 0.5).name == "workload-aware(0.5)"
+        assert make_strategy("WA,0").name == "workload-aware(0.0)"
+        assert make_strategy("wa,1").name == "workload-aware(1.0)"
+
+    def test_unknown(self):
+        with pytest.raises(DistributionError):
+            make_strategy("magic")
+
+    def test_alpha_out_of_range(self):
+        with pytest.raises(DistributionError):
+            WorkloadAwareStrategy(alpha=2.0)
+
+
+class TestRandom:
+    def test_single_candidate_no_rng_needed(self, setup):
+        g, pattern, partition, gpsi = setup
+        chosen = RandomStrategy().choose(gpsi, [3], pattern, g, partition, {})
+        assert chosen == 3
+
+    def test_uniform_over_candidates(self, setup):
+        g, pattern, partition, gpsi = setup
+        state = worker_state(1)
+        picks = [
+            RandomStrategy().choose(gpsi, [1, 3], pattern, g, partition, state)
+            for _ in range(300)
+        ]
+        assert 0.35 < picks.count(1) / 300 < 0.65
+
+    def test_missing_rng_raises(self, setup):
+        g, pattern, partition, gpsi = setup
+        with pytest.raises(DistributionError):
+            RandomStrategy().choose(gpsi, [1, 3], pattern, g, partition, {})
+
+
+class TestRoulette:
+    def test_prefers_low_degree(self, setup):
+        """Heuristic 1: Gpsis should be expanded by low-degree vertices.
+
+        Gray v2 maps to the hub (deg 5), gray v4 to a leaf (deg 1): the
+        leaf must win about 5x more often.
+        """
+        g, pattern, partition, gpsi = setup
+        state = worker_state(2)
+        picks = [
+            RouletteStrategy().choose(gpsi, [1, 3], pattern, g, partition, state)
+            for _ in range(600)
+        ]
+        leaf_share = picks.count(3) / 600
+        assert leaf_share > 0.7
+
+    def test_single_candidate(self, setup):
+        g, pattern, partition, gpsi = setup
+        assert RouletteStrategy().choose(gpsi, [1], pattern, g, partition, {}) == 1
+
+    def test_equation6_probabilities(self, setup):
+        """p_k must equal (1/deg_k) / sum(1/deg_i)."""
+        g, pattern, partition, gpsi = setup
+        state = worker_state(3)
+        n = 4000
+        picks = [
+            RouletteStrategy().choose(gpsi, [1, 3], pattern, g, partition, state)
+            for _ in range(n)
+        ]
+        deg_hub, deg_leaf = g.degree(0), g.degree(6)
+        expected_leaf = (1 / deg_leaf) / (1 / deg_leaf + 1 / deg_hub)
+        assert abs(picks.count(3) / n - expected_leaf) < 0.04
+
+
+class TestWorkloadAware:
+    def test_alpha_zero_always_cheapest(self, setup):
+        """alpha=0 ignores worker load entirely: pure min-increase."""
+        g, pattern, partition, gpsi = setup
+        strategy = WorkloadAwareStrategy(alpha=0.0)
+        state = worker_state(4)
+        for _ in range(10):
+            # leaf (deg 1, one white neighbour) has the smaller C(deg, w)
+            assert strategy.choose(gpsi, [1, 3], pattern, g, partition, state) == 3
+
+    def test_local_view_accumulates(self, setup):
+        g, pattern, partition, gpsi = setup
+        strategy = WorkloadAwareStrategy(alpha=1.0)
+        state = worker_state(5)
+        strategy.choose(gpsi, [1, 3], pattern, g, partition, state)
+        view = state["dist_load_view"]
+        assert sum(view) > 0
+
+    def test_alpha_one_balances(self, setup):
+        """With a saturated worker, alpha=1 must route away from it."""
+        g, pattern, partition, _ = setup
+        # grays on *different* workers: v2 -> hub 0 (worker 0),
+        # v4 -> vertex 5 (worker 1)
+        gpsi = Gpsi((6, 0, UNMAPPED, 5), black=0b0001, next_vertex=-1)
+        strategy = WorkloadAwareStrategy(alpha=1.0)
+        state = worker_state(6)
+        saturated = partition.owner(5)
+        state["dist_load_view"] = [0.0, 0.0]
+        state["dist_load_view"][saturated] = 1e9
+        chosen = strategy.choose(gpsi, [1, 3], pattern, g, partition, state)
+        assert partition.owner(gpsi.mapping[chosen]) != saturated
+
+    def test_deterministic(self, setup):
+        g, pattern, partition, gpsi = setup
+        strategy = WorkloadAwareStrategy(alpha=0.5)
+        a = strategy.choose(gpsi, [1, 3], pattern, g, partition, worker_state(7))
+        b = strategy.choose(gpsi, [1, 3], pattern, g, partition, worker_state(7))
+        assert a == b

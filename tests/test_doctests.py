@@ -1,0 +1,18 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import repro
+import repro.core.listing
+
+
+def test_package_docstring_examples():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 1
+    assert results.failed == 0
+
+
+def test_listing_docstring_examples():
+    results = doctest.testmod(repro.core.listing, verbose=False)
+    assert results.attempted >= 1
+    assert results.failed == 0

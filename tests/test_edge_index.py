@@ -1,0 +1,90 @@
+"""Unit tests for the light-weight edge index (Section 5.2.3)."""
+
+import pytest
+
+from repro.core import (
+    BloomEdgeIndex,
+    ExactEdgeIndex,
+    NullEdgeIndex,
+    build_edge_index,
+)
+from repro.graph import complete_graph, erdos_renyi
+
+
+class TestBloomEdgeIndex:
+    def test_no_false_negatives(self):
+        g = erdos_renyi(100, 0.1, seed=1)
+        index = BloomEdgeIndex(g, fp_rate=0.01)
+        for u, v in g.edges():
+            assert index.might_contain(u, v)
+            assert index.might_contain(v, u)  # undirected
+
+    def test_low_false_positive_rate(self):
+        g = erdos_renyi(200, 0.05, seed=2)
+        index = BloomEdgeIndex(g, fp_rate=0.01, seed=3)
+        non_edges = [
+            (u, v)
+            for u in range(0, 200, 3)
+            for v in range(u + 1, 200, 7)
+            if not g.has_edge(u, v)
+        ]
+        fp = sum(1 for u, v in non_edges if index.might_contain(u, v))
+        assert fp / len(non_edges) < 0.05
+
+    def test_statistics_tracked(self):
+        g = complete_graph(4)
+        index = BloomEdgeIndex(g)
+        index.might_contain(0, 1)
+        index.might_contain(0, 1)
+        assert index.queries == 2
+        assert index.positives == 2
+        assert index.pruned == 0
+
+    def test_memory_small(self):
+        g = erdos_renyi(500, 0.02, seed=4)
+        index = BloomEdgeIndex(g, fp_rate=0.01)
+        # ~10 bits/edge at 1% fp; must be far below an exact set's cost
+        assert index.memory_bytes() < 40 * g.num_edges
+
+    def test_estimated_fp_rate(self):
+        g = erdos_renyi(300, 0.05, seed=5)
+        assert 0.0 < BloomEdgeIndex(g, fp_rate=0.01).estimated_fp_rate() < 0.05
+
+
+class TestExactEdgeIndex:
+    def test_exact_membership(self):
+        g = erdos_renyi(80, 0.1, seed=6)
+        index = ExactEdgeIndex(g)
+        for u in range(80):
+            for v in range(u + 1, 80, 5):
+                assert index.might_contain(u, v) == g.has_edge(u, v)
+
+    def test_prune_count(self):
+        g = complete_graph(3)
+        index = ExactEdgeIndex(g)
+        index.might_contain(0, 1)   # hit
+        index.might_contain(0, 2)   # hit
+        assert index.pruned == 0
+
+
+class TestNullEdgeIndex:
+    def test_always_positive(self):
+        index = NullEdgeIndex()
+        assert index.might_contain(123, 456)
+        assert index.pruned == 0
+        assert index.queries == 1
+
+
+class TestFactory:
+    def test_bloom(self):
+        assert isinstance(build_edge_index(complete_graph(3), "bloom"), BloomEdgeIndex)
+
+    def test_exact(self):
+        assert isinstance(build_edge_index(complete_graph(3), "exact"), ExactEdgeIndex)
+
+    def test_none(self):
+        assert isinstance(build_edge_index(complete_graph(3), "none"), NullEdgeIndex)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            build_edge_index(complete_graph(3), "magic")

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The examples double as executable documentation; each is executed in a
+subprocess exactly as a user would run it, with assertions on the key
+lines of output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, timeout=600):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.example
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "squares found: 3" in out
+    # the three squares of Figure 1
+    assert "{1, 2, 3, 5}" in out
+    assert "{1, 2, 5, 6}" in out
+    assert "{2, 3, 4, 5}" in out
+    for name in ["PG1", "PG2", "PG3", "PG4", "PG5"]:
+        assert name in out
+
+
+@pytest.mark.example
+def test_clustering_coefficient():
+    out = run_example("clustering_coefficient.py")
+    assert "triangles (PSgL" in out
+    assert "global clustering coefficient" in out
+    assert "worker balance" in out
+
+
+@pytest.mark.example
+def test_motif_census():
+    out = run_example("motif_census.py")
+    assert "triangle" in out
+    assert "clique-4 (K4)" in out
+    assert "over-represented" in out
+
+
+@pytest.mark.example
+def test_strategy_tuning():
+    out = run_example("strategy_tuning.py")
+    assert "WA,0.5" in out
+    assert "worker-count sweep" in out
+
+
+@pytest.mark.example
+def test_engine_shootout():
+    out = run_example("engine_shootout.py")
+    assert "PSgL (WA,0.5)" in out
+    assert "Afrati multiway join" in out
+    assert "SGIA-MR edge join" in out
+    assert "PowerGraph traversal" in out
+    assert "bowtie" in out
+    assert "wedge sampling" in out

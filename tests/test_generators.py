@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    barabasi_albert,
+    chung_lu_power_law,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    star_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_determinism(self):
+        assert list(erdos_renyi(50, 0.2, seed=3).edges()) == list(
+            erdos_renyi(50, 0.2, seed=3).edges()
+        )
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(50, 0.2, seed=1)
+        b = erdos_renyi(50, 0.2, seed=2)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_p_zero_empty(self):
+        assert erdos_renyi(20, 0.0, seed=0).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(10, 1.0, seed=0)
+        assert g.num_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        n, p = 300, 0.1
+        g = erdos_renyi(n, p, seed=5)
+        expected = p * n * (n - 1) / 2
+        assert 0.85 * expected < g.num_edges < 1.15 * expected
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+    def test_tiny_n(self):
+        assert erdos_renyi(1, 0.5).num_edges == 0
+
+
+class TestChungLu:
+    def test_determinism(self):
+        a = chung_lu_power_law(200, 2.2, seed=9)
+        b = chung_lu_power_law(200, 2.2, seed=9)
+        assert a == b
+
+    def test_average_degree_near_target(self):
+        g = chung_lu_power_law(2000, 2.5, avg_degree=8.0, seed=4)
+        realized = 2 * g.num_edges / g.num_vertices
+        assert 6.0 < realized < 10.0
+
+    def test_average_degree_with_cap_still_near_target(self):
+        g = chung_lu_power_law(2000, 1.8, avg_degree=6.0, max_degree=80, seed=4)
+        realized = 2 * g.num_edges / g.num_vertices
+        assert 4.0 < realized < 8.0
+        assert g.max_degree() <= 2 * 80  # cap is on expectation, allow slack
+
+    def test_lower_gamma_is_more_skewed(self):
+        mild = chung_lu_power_law(1500, 3.0, avg_degree=6, seed=7)
+        heavy = chung_lu_power_law(1500, 1.7, avg_degree=6, seed=7)
+        assert heavy.max_degree() > mild.max_degree()
+
+    def test_gamma_at_most_one_rejected(self):
+        with pytest.raises(GraphError):
+            chung_lu_power_law(100, 1.0)
+
+    def test_tiny_n(self):
+        assert chung_lu_power_law(1, 2.0).num_vertices == 1
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, seed=2)
+        # each of the n-m new vertices adds exactly m edges
+        assert g.num_edges <= 3 * 97
+        assert g.num_edges >= 3 * 97 - 97  # a few may duplicate
+
+    def test_connected_ish(self):
+        g = barabasi_albert(50, 2, seed=1)
+        assert all(g.degree(v) >= 1 for v in range(2, 50))
+
+    def test_invalid_m(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 10)
+
+
+class TestDeterministicFamilies:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_cycle_graph(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(8)
+        assert g.degree(0) == 7
+        assert g.num_edges == 7
+
+    def test_star_too_small(self):
+        with pytest.raises(GraphError):
+            star_graph(0)
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_invalid(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+    def test_grid_triangle_free(self):
+        g = grid_graph(4, 4)
+        assert all(g.triangles_at(v) == 0 for v in g.vertices())

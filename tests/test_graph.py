@@ -1,0 +1,142 @@
+"""Unit tests for repro.graph.graph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import Graph, complete_graph, normalize_edge
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_without_edges(self):
+        g = Graph(5, [])
+        assert g.num_vertices == 5
+        assert all(g.degree(v) == 0 for v in g.vertices())
+
+    def test_basic_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_edges == 3
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_duplicate_edges_dropped(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = Graph(3, [(0, 0), (1, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 5)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [])
+
+    def test_from_edges_sizes_to_max_id(self):
+        g = Graph.from_edges([(0, 7), (2, 3)])
+        assert g.num_vertices == 8
+
+    def test_from_edges_empty(self):
+        g = Graph.from_edges([])
+        assert g.num_vertices == 0
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(2, 4), (2, 0), (2, 3), (2, 1)])
+        assert list(g.neighbors(2)) == [0, 1, 3, 4]
+
+    def test_degree_matches_neighbors(self):
+        g = complete_graph(6)
+        for v in g.vertices():
+            assert g.degree(v) == len(g.neighbors(v)) == 5
+
+    def test_degrees_array(self):
+        g = Graph(3, [(0, 1)])
+        assert list(g.degrees) == [1, 1, 0]
+
+    def test_edges_iterated_once_canonical(self):
+        g = Graph(4, [(3, 1), (0, 2), (2, 1)])
+        edges = list(g.edges())
+        assert edges == sorted(edges)
+        assert all(u < v for u, v in edges)
+        assert len(edges) == 3
+
+    def test_has_edge_out_of_range_is_false(self):
+        g = Graph(3, [(0, 1)])
+        assert not g.has_edge(0, 99)
+        assert not g.has_edge(-1, 0)
+
+    def test_contains(self):
+        g = Graph(3, [])
+        assert 2 in g
+        assert 3 not in g
+
+    def test_len(self):
+        assert len(Graph(7, [])) == 7
+
+    def test_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+        assert Graph(0, []).max_degree() == 0
+
+
+class TestSubgraphAndTriangles:
+    def test_subgraph_relabels(self):
+        g = complete_graph(5)
+        sub = g.subgraph([1, 3, 4])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # K3
+
+    def test_subgraph_drops_external_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([0, 1, 3])
+        assert sub.num_edges == 1
+
+    def test_triangles_at(self):
+        g = complete_graph(4)
+        # every vertex of K4 is in C(3,2) = 3 triangles
+        assert all(g.triangles_at(v) == 3 for v in g.vertices())
+
+    def test_triangles_at_triangle_free(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert all(g.triangles_at(v) == 0 for v in g.vertices())
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+
+    def test_unequal_edge_sets(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(1, 2)])
+
+    def test_unequal_sizes(self):
+        assert Graph(3, []) != Graph(4, [])
+
+    def test_eq_other_type(self):
+        assert Graph(1, []).__eq__(42) is NotImplemented
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(|V|=3, |E|=1)"
+
+
+def test_normalize_edge():
+    assert normalize_edge(5, 2) == (2, 5)
+    assert normalize_edge(2, 5) == (2, 5)
+
+
+def test_neighbor_arrays_are_int64():
+    g = Graph(3, [(0, 1), (1, 2)])
+    assert g.neighbors(1).dtype == np.int64

@@ -1,0 +1,118 @@
+"""Tests for induced motif counting via Möbius inversion."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.graph import complete_graph, cycle_graph, erdos_renyi, grid_graph
+from repro.pattern import (
+    PatternGraph,
+    all_connected_patterns,
+    canonical_form,
+    conversion_matrix,
+    count_monomorphisms,
+    induced_census,
+    induced_from_noninduced,
+    instances_within,
+    square,
+    triangle,
+)
+
+
+def brute_induced(graph, k):
+    """Independent oracle: classify every connected k-subset."""
+    motifs = all_connected_patterns(k, auto_break=False)
+    forms = {canonical_form(p): p.name for p in motifs}
+    counts = {p.name: 0 for p in motifs}
+    for subset in combinations(range(graph.num_vertices), k):
+        idx = {v: i for i, v in enumerate(subset)}
+        edges = [
+            (idx[u], idx[v])
+            for u in subset
+            for v in subset
+            if u < v and graph.has_edge(u, v)
+        ]
+        try:
+            induced_graph = PatternGraph(k, edges)
+        except PatternError:
+            continue  # disconnected subset
+        counts[forms[canonical_form(induced_graph)]] += 1
+    return counts
+
+
+class TestMonomorphisms:
+    def test_triangle_into_itself(self):
+        t = triangle().with_partial_order(())
+        assert count_monomorphisms(t, t) == 6  # |Aut| for equal graphs
+
+    def test_square_into_k4(self):
+        k4 = PatternGraph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        c4 = square().with_partial_order(())
+        assert count_monomorphisms(c4, k4) == 24  # every permutation works
+
+    def test_no_embedding_when_denser(self):
+        k4 = PatternGraph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        c4 = square().with_partial_order(())
+        assert count_monomorphisms(k4, c4) == 0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(PatternError):
+            count_monomorphisms(triangle(), square())
+
+    def test_instances_within(self):
+        k4 = PatternGraph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        c4 = square().with_partial_order(())
+        assert instances_within(c4, k4) == 3  # K4 contains 3 squares
+
+
+class TestConversionMatrix:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_upper_triangular_unit_diagonal(self, k):
+        matrix = conversion_matrix(k)
+        for i, row in enumerate(matrix):
+            assert row[i] == 1
+            for j in range(i):
+                assert row[j] == 0
+
+
+class TestInducedCensus:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_brute_force_er(self, k):
+        g = erdos_renyi(20, 0.25, seed=41)
+        assert induced_census(g, k, num_workers=3) == brute_induced(g, k)
+
+    def test_matches_brute_force_grid(self):
+        g = grid_graph(4, 4)
+        assert induced_census(g, 4, num_workers=3) == brute_induced(g, 4)
+
+    def test_complete_graph_only_cliques(self):
+        census = induced_census(complete_graph(6), 4, num_workers=2)
+        clique_name = all_connected_patterns(4)[-1].name
+        assert census[clique_name] == 15  # C(6,4)
+        assert all(v == 0 for name, v in census.items() if name != clique_name)
+
+    def test_cycle_graph_only_paths(self):
+        census = induced_census(cycle_graph(8), 3, num_workers=2)
+        # every connected 3-subset of C8 induces a path, none a triangle
+        path_name, triangle_name = (p.name for p in all_connected_patterns(3))
+        assert census[path_name] == 8
+        assert census[triangle_name] == 0
+
+    def test_missing_motif_rejected(self):
+        with pytest.raises(PatternError):
+            induced_from_noninduced({"M3.1": 5}, 3)
+
+    def test_inconsistent_census_rejected(self):
+        motifs = all_connected_patterns(3)
+        bogus = {motifs[0].name: 0, motifs[1].name: 10}
+        # 10 triangles imply 30 non-induced paths; claiming 0 is impossible
+        with pytest.raises(PatternError):
+            induced_from_noninduced(bogus, 3)
+
+    def test_sum_rule(self):
+        """Induced counts partition the connected k-subsets: their sum
+        equals the brute-force number of connected subsets."""
+        g = erdos_renyi(18, 0.3, seed=42)
+        census = induced_census(g, 4, num_workers=2)
+        assert sum(census.values()) == sum(brute_induced(g, 4).values())

@@ -1,0 +1,107 @@
+"""Unit tests for the in-memory MapReduce engine."""
+
+import pytest
+
+from repro.baselines import MapReduceEngine, MapReduceRound
+from repro.exceptions import SimulatedOOMError
+
+
+class WordCount(MapReduceRound):
+    name = "wordcount"
+
+    def map(self, record, emit):
+        for word in record.split():
+            emit(word, 1)
+
+    def reduce(self, key, values, emit, charge):
+        emit((key, sum(values)))
+
+
+class Identity(MapReduceRound):
+    name = "identity"
+
+    def map(self, record, emit):
+        emit(record, record)
+
+    def reduce(self, key, values, emit, charge):
+        for v in values:
+            emit(v)
+
+
+class TestBasics:
+    def test_wordcount(self):
+        engine = MapReduceEngine(num_reducers=3)
+        outputs, stats = engine.run_round(
+            WordCount(), ["a b a", "b c", "a"]
+        )
+        assert dict(outputs) == {"a": 3, "b": 2, "c": 1}
+        assert stats.map_input_records == 3
+        assert stats.shuffle_records == 6
+
+    def test_reducer_assignment_stable(self):
+        engine = MapReduceEngine(num_reducers=4)
+        out1, _ = engine.run_round(WordCount(), ["x y z"])
+        out2, _ = engine.run_round(WordCount(), ["x y z"])
+        assert sorted(out1) == sorted(out2)
+
+    def test_invalid_reducer_count(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(0)
+
+    def test_chained_rounds(self):
+        engine = MapReduceEngine(num_reducers=2)
+        result = engine.run_job([Identity(), Identity()], [1, 2, 3])
+        assert sorted(result.outputs) == [1, 2, 3]
+        assert len(result.rounds) == 2
+
+
+class TestCostAccounting:
+    def test_mapper_costs_counted(self):
+        engine = MapReduceEngine(num_reducers=2, num_mappers=2)
+        _, stats = engine.run_round(WordCount(), ["a a a a", "b"])
+        # mapper 0: 1 + 4 emits; mapper 1: 1 + 1 emit
+        assert stats.mapper_costs == [5.0, 2.0]
+
+    def test_reducer_skew_on_hot_key(self):
+        engine = MapReduceEngine(num_reducers=4)
+        records = ["hot"] * 50 + ["a", "b", "c"]
+        _, stats = engine.run_round(WordCount(), records)
+        assert stats.reducer_skew > 1.5
+
+    def test_makespan_is_slowest_map_plus_slowest_reduce(self):
+        engine = MapReduceEngine(num_reducers=2, num_mappers=1)
+        _, stats = engine.run_round(WordCount(), ["a b"])
+        assert stats.makespan == max(stats.mapper_costs) + max(stats.reducer_costs)
+
+    def test_charge_adds_reducer_cost(self):
+        class Charger(MapReduceRound):
+            name = "charger"
+
+            def map(self, record, emit):
+                emit(0, record)
+
+            def reduce(self, key, values, emit, charge):
+                charge(100.0)
+
+        engine = MapReduceEngine(num_reducers=1)
+        _, stats = engine.run_round(Charger(), [1, 2])
+        assert stats.reducer_costs[0] >= 100.0
+
+    def test_job_totals(self):
+        engine = MapReduceEngine(num_reducers=2)
+        result = engine.run_job([Identity()], [1, 2, 3, 4])
+        assert result.total_shuffle == 4
+        assert result.makespan > 0
+        assert result.total_cost >= result.makespan
+
+
+class TestMemoryBudget:
+    def test_shuffle_overflow_raises(self):
+        engine = MapReduceEngine(num_reducers=2, memory_budget=3)
+        with pytest.raises(SimulatedOOMError):
+            engine.run_round(Identity(), [1, 2, 3, 4])
+
+    def test_within_budget_ok(self):
+        engine = MapReduceEngine(num_reducers=2, memory_budget=10)
+        outputs, _ = engine.run_round(Identity(), [1, 2])
+        assert sorted(outputs) == [1, 2]

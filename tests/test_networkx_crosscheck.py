@@ -1,0 +1,68 @@
+"""Cross-validation against networkx's VF2 matcher.
+
+The library's own centralized oracle shares no code with networkx, so
+agreement here is strong evidence the semantics (non-induced subgraph
+isomorphism, exactly-once under symmetry breaking) are right.
+
+VF2's ``subgraph_monomorphisms_iter`` counts *all* injective mappings,
+i.e. each instance ``|Aut(Gp)|`` times; dividing by the group order must
+give PSgL's exactly-once count.
+"""
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro import PSgL
+from repro.graph import Graph, chung_lu_power_law, erdos_renyi
+from repro.pattern import automorphisms, paper_patterns
+
+
+def to_networkx(graph: Graph):
+    g = networkx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def pattern_to_networkx(pattern):
+    g = networkx.Graph()
+    g.add_nodes_from(pattern.vertices())
+    g.add_edges_from(pattern.edges())
+    return g
+
+
+def vf2_count(graph: Graph, pattern) -> int:
+    matcher = networkx.algorithms.isomorphism.GraphMatcher(
+        to_networkx(graph), pattern_to_networkx(pattern)
+    )
+    return sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+
+
+@pytest.mark.parametrize("pattern_name", ["PG1", "PG2", "PG3", "PG4", "PG5"])
+def test_er_graph_matches_vf2(pattern_name):
+    graph = erdos_renyi(45, 0.15, seed=77)
+    pattern = paper_patterns()[pattern_name]
+    group_order = len(automorphisms(pattern))
+    mappings = vf2_count(graph, pattern)
+    assert mappings % group_order == 0
+    assert PSgL(graph, num_workers=4, seed=1).count(pattern) == mappings // group_order
+
+
+def test_power_law_graph_matches_vf2():
+    graph = chung_lu_power_law(120, 2.0, avg_degree=4, max_degree=30, seed=78)
+    pattern = paper_patterns()["PG2"]
+    mappings = vf2_count(graph, pattern)
+    assert PSgL(graph, num_workers=4, seed=2).count(pattern) == mappings // 8
+
+
+def test_motif_enumeration_matches_vf2():
+    from repro.pattern import all_connected_patterns
+
+    graph = erdos_renyi(30, 0.2, seed=79)
+    psgl = PSgL(graph, num_workers=3, seed=3)
+    for pattern in all_connected_patterns(4):
+        group_order = len(automorphisms(pattern))
+        assert psgl.count(pattern) == vf2_count(graph, pattern) // group_order, (
+            pattern.name
+        )

@@ -1,0 +1,133 @@
+"""Unit tests for repro.pattern.pattern (PatternGraph + partial orders)."""
+
+import pytest
+
+from repro.exceptions import PartialOrderError, PatternError
+from repro.pattern import PatternGraph, clique4, square, triangle
+
+
+class TestConstruction:
+    def test_single_vertex(self):
+        p = PatternGraph(1, [])
+        assert p.num_vertices == 1
+        assert p.num_edges == 0
+
+    def test_triangle_structure(self):
+        p = triangle()
+        assert p.num_vertices == 3
+        assert p.num_edges == 3
+        assert p.has_edge(0, 1) and p.has_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            PatternGraph(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(PatternError):
+            PatternGraph(2, [(0, 5)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PatternError):
+            PatternGraph(4, [(0, 1), (2, 3)])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(PatternError):
+            PatternGraph(0, [])
+
+    def test_duplicate_edges_collapse(self):
+        p = PatternGraph(2, [(0, 1), (1, 0)])
+        assert p.num_edges == 1
+
+    def test_neighbors_and_degree(self):
+        p = square()
+        assert p.neighbors(0) == (1, 3)
+        assert p.degree(0) == 2
+
+
+class TestPartialOrder:
+    def test_empty_order(self):
+        p = PatternGraph(3, [(0, 1), (1, 2)])
+        assert p.partial_order == frozenset()
+
+    def test_order_pairs_recorded(self):
+        p = PatternGraph(3, [(0, 1), (1, 2)], [(0, 2)])
+        assert (0, 2) in p.partial_order
+        assert p.must_rank_below(2) == (0,)
+        assert p.must_rank_above(0) == (2,)
+
+    def test_cyclic_order_rejected(self):
+        with pytest.raises(PartialOrderError):
+            PatternGraph(3, [(0, 1), (1, 2)], [(0, 1), (1, 0)])
+
+    def test_long_cycle_rejected(self):
+        with pytest.raises(PartialOrderError):
+            PatternGraph(3, [(0, 1), (1, 2)], [(0, 1), (1, 2), (2, 0)])
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(PartialOrderError):
+            PatternGraph(2, [(0, 1)], [(1, 1)])
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(PartialOrderError):
+            PatternGraph(2, [(0, 1)], [(0, 5)])
+
+    def test_with_partial_order_copies(self):
+        base = PatternGraph(3, [(0, 1), (1, 2)])
+        derived = base.with_partial_order([(0, 1)])
+        assert base.partial_order == frozenset()
+        assert derived.partial_order == frozenset({(0, 1)})
+
+
+class TestRelabeling:
+    def test_relabel_identity(self):
+        p = square()
+        assert p.relabeled([0, 1, 2, 3]) == p
+
+    def test_relabel_swaps_edges_and_order(self):
+        p = PatternGraph(3, [(0, 1), (1, 2)], [(0, 2)])
+        q = p.relabeled([2, 1, 0])
+        assert q.has_edge(2, 1) and q.has_edge(1, 0)
+        assert (2, 0) in q.partial_order
+
+    def test_relabel_requires_permutation(self):
+        with pytest.raises(PatternError):
+            square().relabeled([0, 0, 1, 2])
+
+
+class TestMinimumVertexCover:
+    def test_triangle_mvc(self):
+        assert triangle().minimum_vertex_cover_size() == 2
+
+    def test_square_mvc(self):
+        assert square().minimum_vertex_cover_size() == 2
+
+    def test_clique4_mvc(self):
+        assert clique4().minimum_vertex_cover_size() == 3
+
+    def test_star_mvc(self):
+        star = PatternGraph(5, [(0, i) for i in range(1, 5)])
+        assert star.minimum_vertex_cover_size() == 1
+
+    def test_path_mvc(self):
+        path5 = PatternGraph(5, [(i, i + 1) for i in range(4)])
+        assert path5.minimum_vertex_cover_size() == 2
+
+    def test_single_vertex_mvc(self):
+        assert PatternGraph(1, []).minimum_vertex_cover_size() == 0
+
+
+class TestEqualityHash:
+    def test_equal_patterns(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+
+    def test_order_matters_for_equality(self):
+        a = PatternGraph(3, [(0, 1), (1, 2)], [(0, 2)])
+        b = PatternGraph(3, [(0, 1), (1, 2)])
+        assert a != b
+
+    def test_eq_other_type(self):
+        assert triangle().__eq__("x") is NotImplemented
+
+    def test_repr_contains_name(self):
+        assert "PG1" in repr(triangle())

@@ -1,0 +1,106 @@
+"""Unit tests for the partial subgraph instance (Gpsi) data structure."""
+
+from repro.core import Gpsi, UNMAPPED
+from repro.pattern import clique4, square, triangle
+
+
+class TestInitial:
+    def test_initial_maps_one_vertex(self):
+        g = Gpsi.initial(square(), 0, 42)
+        assert g.mapping == (42, UNMAPPED, UNMAPPED, UNMAPPED)
+        assert g.next_vertex == 0
+        assert g.black == 0
+
+    def test_initial_colors(self):
+        g = Gpsi.initial(triangle(), 1, 7)
+        assert g.is_gray(1)
+        assert g.is_white(0) and g.is_white(2)
+        assert not g.is_black(1)
+
+
+class TestColors:
+    def test_black_transitions(self):
+        g = Gpsi((5, 6, UNMAPPED, UNMAPPED), black=0b01, next_vertex=1)
+        assert g.is_black(0)
+        assert g.is_gray(1)
+        assert g.is_white(2)
+
+    def test_gray_vertices(self):
+        g = Gpsi((5, 6, 7, UNMAPPED), black=0b001, next_vertex=1)
+        assert g.gray_vertices() == [1, 2]
+
+    def test_white_vertices(self):
+        g = Gpsi((5, UNMAPPED, UNMAPPED, 8), black=0, next_vertex=0)
+        assert g.white_vertices() == [1, 2]
+
+    def test_mapped_data_vertices(self):
+        g = Gpsi((5, UNMAPPED, 7, UNMAPPED), black=0, next_vertex=0)
+        assert g.mapped_data_vertices() == [5, 7]
+
+
+class TestCompleteness:
+    def test_incomplete_when_unmapped(self):
+        g = Gpsi((1, 2, UNMAPPED), black=0b011, next_vertex=2)
+        assert not g.is_complete(triangle())
+
+    def test_incomplete_when_edge_uncovered(self):
+        # all mapped but black={0}: edge (1,2) has no black endpoint
+        g = Gpsi((1, 2, 3), black=0b001, next_vertex=1)
+        assert not g.is_complete(triangle())
+        assert g.uncovered_edges(triangle()) == [(1, 2)]
+
+    def test_complete_when_black_covers(self):
+        g = Gpsi((1, 2, 3), black=0b011, next_vertex=2)
+        assert g.is_complete(triangle())
+
+    def test_clique_needs_three_blacks(self):
+        g = Gpsi((1, 2, 3, 4), black=0b0011, next_vertex=2)
+        assert not g.is_complete(clique4())
+        g2 = Gpsi((1, 2, 3, 4), black=0b0111, next_vertex=3)
+        assert g2.is_complete(clique4())
+
+
+class TestUsefulGrays:
+    def test_gray_with_white_neighbor_is_useful(self):
+        g = Gpsi.initial(triangle(), 0, 9)
+        assert g.useful_grays(triangle()) == [0]
+
+    def test_gray_on_uncovered_edge_is_useful(self):
+        # square fully mapped, black={0}: uncovered edges (1,2),(2,3)
+        g = Gpsi((1, 2, 3, 4), black=0b0001, next_vertex=1)
+        useful = g.useful_grays(square())
+        assert set(useful) == {1, 2, 3}
+
+    def test_saturated_gray_not_useful(self):
+        # triangle: black={0,1}; vertex 2 is gray, no whites, edge (1,2)
+        # covered by black 1, (0,2) covered by 0 -> nothing useful.
+        g = Gpsi((1, 2, 3), black=0b011, next_vertex=2)
+        assert g.useful_grays(triangle()) == []
+
+    def test_incomplete_always_has_useful_gray(self):
+        # any reachable incomplete state of the square
+        g = Gpsi((1, 2, UNMAPPED, 4), black=0b0001, next_vertex=1)
+        assert g.useful_grays(square())
+
+
+class TestPlumbing:
+    def test_with_next(self):
+        g = Gpsi((1, UNMAPPED), black=0, next_vertex=0)
+        h = g.with_next(1)
+        assert h.next_vertex == 1
+        assert h.mapping == g.mapping
+        assert g.next_vertex == 0  # original untouched
+
+    def test_equality_and_hash(self):
+        a = Gpsi((1, 2), 0b1, 1)
+        b = Gpsi((1, 2), 0b1, 1)
+        c = Gpsi((1, 2), 0b1, 0)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_eq_other_type(self):
+        assert Gpsi((1,), 0, 0).__eq__("x") is NotImplemented
+
+    def test_repr_shows_question_marks(self):
+        text = repr(Gpsi((5, UNMAPPED), 0, 0))
+        assert "?" in text and "5" in text

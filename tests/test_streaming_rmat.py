@@ -1,0 +1,121 @@
+"""Tests for the R-MAT generator and the streaming estimators."""
+
+import pytest
+
+from repro.baselines import (
+    count_triangles,
+    doulion_estimate,
+    edge_sampling_triangles,
+    total_wedges,
+    wedge_sampling_error_bound,
+    wedge_sampling_triangles,
+)
+from repro.exceptions import GraphError
+from repro.graph import Graph, complete_graph, grid_graph, rmat, star_graph
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(8, avg_degree=6, seed=1)
+        assert g.num_vertices == 256
+        assert 0 < g.num_edges <= 6 * 256 // 2
+
+    def test_deterministic(self):
+        assert rmat(7, seed=5) == rmat(7, seed=5)
+
+    def test_seeds_differ(self):
+        assert rmat(7, seed=1) != rmat(7, seed=2)
+
+    def test_skewed_by_default(self):
+        g = rmat(10, avg_degree=8, seed=3)
+        assert g.max_degree() > 10 * (2 * g.num_edges / g.num_vertices)
+
+    def test_uniform_parameters_flatten(self):
+        skewed = rmat(10, avg_degree=8, seed=4)
+        flat = rmat(10, avg_degree=8, a=0.25, b=0.25, c=0.25, seed=4)
+        assert flat.max_degree() < skewed.max_degree()
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            rmat(0)
+        with pytest.raises(GraphError):
+            rmat(30)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat(5, a=0.6, b=0.3, c=0.3)
+
+
+class TestWedgeSampling:
+    def test_total_wedges(self):
+        # star K_{1,4}: hub has C(4,2)=6 wedges, leaves none
+        assert total_wedges(star_graph(5)) == 6
+        # triangle: 3 wedges
+        assert total_wedges(complete_graph(3)) == 3
+
+    def test_exact_on_complete_graph(self):
+        # every wedge of K_n closes, so any sample gives the exact count
+        g = complete_graph(8)
+        est = wedge_sampling_triangles(g, samples=500, seed=1)
+        assert est.estimate == pytest.approx(count_triangles(g))
+
+    def test_zero_on_triangle_free(self):
+        est = wedge_sampling_triangles(grid_graph(5, 5), samples=2000, seed=2)
+        assert est.estimate == 0.0
+
+    def test_accuracy_on_random_graph(self):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(400, 0.05, seed=3)
+        truth = count_triangles(g)
+        est = wedge_sampling_triangles(g, samples=40_000, seed=4)
+        assert est.relative_error(truth) < 0.15
+
+    def test_no_instances_available(self):
+        est = wedge_sampling_triangles(complete_graph(5), samples=10)
+        assert not hasattr(est, "instances")
+
+    def test_empty_graph(self):
+        est = wedge_sampling_triangles(Graph(3, []), samples=100)
+        assert est.estimate == 0.0
+
+    def test_invalid_samples(self):
+        with pytest.raises(GraphError):
+            wedge_sampling_triangles(complete_graph(4), samples=0)
+
+    def test_error_bound_shrinks(self):
+        assert wedge_sampling_error_bound(10_000) < wedge_sampling_error_bound(100)
+        with pytest.raises(GraphError):
+            wedge_sampling_error_bound(0)
+
+
+class TestEdgeSampling:
+    def test_p_one_is_exact(self):
+        g = complete_graph(7)
+        est = edge_sampling_triangles(g, p=1.0, seed=1)
+        assert est.estimate == pytest.approx(count_triangles(g))
+
+    def test_accuracy_reasonable(self):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(300, 0.08, seed=5)
+        truth = count_triangles(g)
+        est = edge_sampling_triangles(g, p=0.5, seed=6)
+        assert est.relative_error(truth) < 0.5
+
+    def test_invalid_rate(self):
+        with pytest.raises(GraphError):
+            edge_sampling_triangles(complete_graph(4), p=0.0)
+        with pytest.raises(GraphError):
+            edge_sampling_triangles(complete_graph(4), p=1.5)
+
+    def test_doulion_alias(self):
+        g = complete_graph(6)
+        assert (
+            doulion_estimate(g, p=0.7, seed=7).estimate
+            == edge_sampling_triangles(g, p=0.7, seed=7).estimate
+        )
+
+    def test_relative_error_of_zero_truth(self):
+        est = edge_sampling_triangles(grid_graph(3, 3), p=0.9, seed=8)
+        assert est.relative_error(0) == 0.0
