@@ -1,0 +1,149 @@
+"""Runtime-backend shootout: serial vs. process wall-clock on R-MAT.
+
+Unlike the paper-figure benchmarks (which compare *simulated* makespans),
+this one measures real wall-clock of the execution backends on a mid-size
+R-MAT graph and persists ``results/BENCH_runtime.json`` so future PRs
+have a perf trajectory to compare against.  The JSON records the machine
+shape (cpu count) alongside the timings — a 1-core box cannot show a
+process-backend win, and the trajectory should say so rather than hide it.
+
+Run standalone for the full-size graph (>= 100k edges)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_backends.py --scale 15
+
+or under pytest with the smaller default::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_runtime_backends.py -q
+
+Environment knobs: ``PSGL_BENCH_RMAT_SCALE`` (log2 vertices, default 12),
+``PSGL_BENCH_RMAT_DEG`` (average degree, default 8), ``PSGL_BENCH_PROCS``
+(workers, default 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from repro.core import PSgL
+from repro.graph.generators import rmat
+from repro.pattern import paper_patterns
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_runtime.json"
+
+DEFAULT_SCALE = int(os.environ.get("PSGL_BENCH_RMAT_SCALE", "12"))
+DEFAULT_DEG = float(os.environ.get("PSGL_BENCH_RMAT_DEG", "8"))
+DEFAULT_PROCS = int(os.environ.get("PSGL_BENCH_PROCS", "4"))
+
+
+def run_comparison(
+    scale: int = DEFAULT_SCALE,
+    avg_degree: float = DEFAULT_DEG,
+    procs: int = DEFAULT_PROCS,
+    pattern_name: str = "PG1",
+    seed: int = 1,
+    out_path: Path = RESULTS_PATH,
+) -> dict:
+    """Time each backend on one R-MAT listing job; write and return the
+    trajectory record."""
+    graph = rmat(scale, avg_degree=avg_degree, seed=seed)
+    pattern = paper_patterns()[pattern_name]
+    backends = {}
+    for backend in ("serial", "process"):
+        started = perf_counter()
+        result = PSgL(
+            graph,
+            num_workers=procs,
+            backend=backend,
+            procs=procs,
+            seed=seed,
+        ).run(pattern)
+        backends[backend] = {
+            "wall_seconds": round(perf_counter() - started, 4),
+            "count": result.count,
+            "makespan": result.makespan,
+            "supersteps": result.supersteps,
+            "gpsis": result.total_gpsis,
+        }
+
+    serial_s = backends["serial"]["wall_seconds"]
+    process_s = backends["process"]["wall_seconds"]
+    record = {
+        "benchmark": "runtime_backends",
+        "pattern": pattern_name,
+        "graph": {
+            "family": "rmat",
+            "scale": scale,
+            "avg_degree": avg_degree,
+            "seed": seed,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "procs": procs,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "backends": backends,
+        "speedup_process_over_serial": round(serial_s / process_s, 3)
+        if process_s
+        else None,
+    }
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def test_runtime_backend_wallclock():
+    """Backends agree on results; the JSON trajectory gets refreshed."""
+    record = run_comparison()
+    serial = record["backends"]["serial"]
+    process = record["backends"]["process"]
+    assert process["count"] == serial["count"]
+    assert process["makespan"] == serial["makespan"]
+    assert process["gpsis"] == serial["gpsis"]
+    # A wall-clock win needs real cores; on a multi-core box the process
+    # backend should not lose badly, and the JSON records the trajectory
+    # either way.
+    if (os.cpu_count() or 1) >= 4:
+        assert record["speedup_process_over_serial"] > 0.8
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    parser.add_argument("--avg-degree", type=float, default=DEFAULT_DEG)
+    parser.add_argument("--procs", type=int, default=DEFAULT_PROCS)
+    parser.add_argument("--pattern", default="PG1")
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH)
+    args = parser.parse_args()
+    record = run_comparison(
+        scale=args.scale,
+        avg_degree=args.avg_degree,
+        procs=args.procs,
+        pattern_name=args.pattern,
+        out_path=args.out,
+    )
+    graph = record["graph"]
+    print(
+        f"rmat scale={graph['scale']} |V|={graph['vertices']:,} "
+        f"|E|={graph['edges']:,} pattern={record['pattern']} "
+        f"procs={record['procs']} cpus={record['machine']['cpu_count']}"
+    )
+    for name, stats in record["backends"].items():
+        print(
+            f"  {name:8s} {stats['wall_seconds']:8.3f}s "
+            f"count={stats['count']:,}"
+        )
+    print(f"  speedup  {record['speedup_process_over_serial']}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

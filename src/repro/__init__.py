@@ -13,7 +13,9 @@ Package layout
   generators, I/O, partitioning, degree statistics);
 * :mod:`repro.pattern` — pattern graphs, automorphism breaking, the
   PG1-PG5 catalog;
-* :mod:`repro.bsp` — the Pregel/Giraph-style BSP simulator;
+* :mod:`repro.bsp` — the Pregel/Giraph-style BSP engine;
+* :mod:`repro.runtime` — pluggable execution backends (serial, thread,
+  process with a shared-memory graph) behind ``backend=...``;
 * :mod:`repro.core` — the PSgL framework itself (Gpsi expansion,
   distribution strategies, cost model, edge index, driver);
 * :mod:`repro.baselines` — centralized oracle, MapReduce engine plus the
@@ -59,6 +61,11 @@ from .pattern import (
     square,
     triangle,
 )
+from .runtime import (
+    available_backends,
+    make_executor,
+    register_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -96,5 +103,8 @@ __all__ = [
     "paper_patterns",
     "square",
     "triangle",
+    "available_backends",
+    "make_executor",
+    "register_backend",
     "__version__",
 ]

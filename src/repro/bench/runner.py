@@ -9,6 +9,7 @@ EXPERIMENTS.md can be regenerated from one command.
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -48,6 +49,22 @@ def _module_for(experiment: str):
     return importlib.import_module(f"repro.bench.experiments.{experiment}")
 
 
+def _supported_kwargs(run_func: Callable, kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Keep only kwargs the experiment's ``run`` actually accepts.
+
+    Experiments adopt runtime options (``backend``, ``procs``, ...) at
+    their own pace; the runner forwards what each supports and silently
+    drops the rest so one CLI flag can apply fleet-wide.
+    """
+    signature = inspect.signature(run_func)
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    ):
+        return dict(kwargs)
+    return {k: v for k, v in kwargs.items() if k in signature.parameters}
+
+
 def run_experiment(experiment: str, scale: float = 1.0, **kwargs) -> ExperimentReport:
     """Run one experiment by id (``fig3``, ``table2``, ...)."""
     if experiment not in EXPERIMENT_IDS:
@@ -56,6 +73,7 @@ def run_experiment(experiment: str, scale: float = 1.0, **kwargs) -> ExperimentR
         )
     module = _module_for(experiment)
     started = perf_counter()
+    kwargs = _supported_kwargs(module.run, kwargs)
     report: ExperimentReport = module.run(scale=scale, **kwargs)
     report.seconds = perf_counter() - started
     return report
@@ -66,15 +84,23 @@ def run_all(
     experiments: Optional[Sequence[str]] = None,
     out_dir: Optional[Path] = None,
     progress: Optional[Callable[[str], None]] = print,
+    backend: Optional[str] = None,
+    procs: Optional[int] = None,
 ) -> List[ExperimentReport]:
     """Run every (or the selected) experiment, optionally persisting the
-    rendered text under ``out_dir``."""
+    rendered text under ``out_dir``.  ``backend``/``procs`` forward to
+    experiments whose ``run`` supports them."""
     chosen = list(experiments) if experiments else list(EXPERIMENT_IDS)
+    runtime_kwargs = {}
+    if backend is not None:
+        runtime_kwargs["backend"] = backend
+    if procs is not None:
+        runtime_kwargs["procs"] = procs
     reports = []
     for experiment in chosen:
         if progress:
             progress(f"running {experiment} (scale={scale}) ...")
-        report = run_experiment(experiment, scale=scale)
+        report = run_experiment(experiment, scale=scale, **runtime_kwargs)
         reports.append(report)
         if progress:
             progress(report.render())

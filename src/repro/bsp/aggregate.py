@@ -112,6 +112,16 @@ class AggregatorRegistry:
             return self._visible[name]
         raise KeyError(f"unknown aggregator {name!r}")
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Barrier-time view of every readable value, for shipping to
+        out-of-process workers: per-step aggregators expose last
+        superstep's published reduction, persistent ones their running
+        total as of the barrier."""
+        snap = dict(self._visible)
+        for name, agg in self._persistent.items():
+            snap[name] = agg.value
+        return snap
+
     def end_superstep(self) -> None:
         """Publish per-step values for the next superstep and reset."""
         for name, agg in self._per_step.items():

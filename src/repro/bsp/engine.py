@@ -1,4 +1,4 @@
-"""The BSP engine: superstep loop, message routing, halting.
+"""The BSP engine: superstep loop, message shuffling, halting.
 
 Semantics follow Pregel/Giraph:
 
@@ -9,25 +9,30 @@ Semantics follow Pregel/Giraph:
   messages at the end of superstep ``i-1``.
 * The job **halts** when a superstep ends with no pending messages.
 
-Workers execute sequentially inside the simulator but the cost ledger
-records what each *logical* worker did, so makespan, balance and message
-statistics are exactly what a real cluster with the same partitioning and
-routing would observe.
+Execution is delegated to a pluggable :mod:`repro.runtime` backend: the
+engine builds one deterministic batch per logical worker each superstep
+(active vertices plus their delivered messages), the executor runs the
+batches — sequentially, on threads, or on a process pool over a
+shared-memory graph — and the engine merges the returned outboxes,
+ledger deltas and outputs in worker-id order at the barrier.  The merge
+order makes every backend reproduce the serial engine's message
+delivery order, so the cost ledger records what each *logical* worker
+did regardless of where it physically ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Union
 
 from ..exceptions import EngineError
 from ..graph.graph import Graph
 from ..graph.partition import Partition
 from .aggregate import AggregatorRegistry
-from .message import Message, MessageStore
+from .message import MessageStore
 from .metrics import CostLedger
-from .vertex_program import ComputeContext, VertexProgram
+from .vertex_program import VertexProgram
 from .worker import Worker
 
 
@@ -64,8 +69,19 @@ class BSPEngine:
     memory_budget:
         Optional cap on in-flight messages at a superstep barrier; crossing
         it raises :class:`~repro.exceptions.SimulatedOOMError`.
+    worker_memory_budget:
+        Optional cap on the messages queued for any single worker.
     max_supersteps:
         Safety valve against non-terminating programs.
+    backend:
+        Execution backend: ``"serial"`` (default; the reference
+        single-process loop), ``"thread"``, ``"process"``, any name
+        registered with :func:`repro.runtime.register_backend`, or a
+        pre-built :class:`~repro.runtime.SuperstepExecutor` instance
+        (single-use: it is closed when the job ends).
+    procs:
+        OS-level parallelism for parallel backends (defaults to
+        ``min(num_workers, cpu_count)``); ignored by ``serial``.
     """
 
     def __init__(
@@ -75,6 +91,8 @@ class BSPEngine:
         memory_budget: Optional[int] = None,
         worker_memory_budget: Optional[int] = None,
         max_supersteps: int = 1000,
+        backend: Union[str, Any] = "serial",
+        procs: Optional[int] = None,
     ):
         if partition.num_vertices != graph.num_vertices:
             raise EngineError(
@@ -86,6 +104,8 @@ class BSPEngine:
         self.memory_budget = memory_budget
         self.worker_memory_budget = worker_memory_budget
         self.max_supersteps = max_supersteps
+        self.backend = backend
+        self.procs = procs
         self.workers = [
             Worker(w, partition.vertices_of(w))
             for w in range(partition.num_workers)
@@ -99,6 +119,10 @@ class BSPEngine:
     # ------------------------------------------------------------------
     def run(self, program: VertexProgram) -> BSPResult:
         """Execute ``program`` to completion and return its results."""
+        # Imported here: repro.runtime builds on repro.bsp, not vice versa.
+        from ..runtime.executor import JobSpec
+        from ..runtime.registry import make_executor
+
         started = perf_counter()
         for worker in self.workers:
             worker.reset_state()
@@ -117,43 +141,68 @@ class BSPEngine:
         if initial is None:
             initial = list(self.graph.vertices())
 
+        executor = make_executor(self.backend, procs=self.procs)
+        executor.start(
+            JobSpec(
+                program=program,
+                graph=self.graph,
+                partition=self.partition,
+                num_workers=self.num_workers,
+                worker_states=[worker.state for worker in self.workers],
+            )
+        )
+        merge_program_state = not executor.inprocess
+
         superstep = 0
         active: List[int] = list(initial)
-        while True:
-            if superstep >= self.max_supersteps:
-                raise EngineError(
-                    f"exceeded max_supersteps={self.max_supersteps}; "
-                    "program may not terminate"
-                )
-            ledger.begin_superstep(superstep)
-            outbox = MessageStore(combiner)
-            inbound_per_worker = [0] * self.num_workers
-            self._run_superstep(
-                program,
-                superstep,
-                active,
-                inbox,
-                outbox,
-                ledger,
-                outputs,
-                inbound_per_worker,
-                registry,
-            )
-            registry.end_superstep()
-            ledger.total_emitted = len(outputs)
-            try:
+        try:
+            while True:
+                if superstep >= self.max_supersteps:
+                    raise EngineError(
+                        f"exceeded max_supersteps={self.max_supersteps}; "
+                        "program may not terminate"
+                    )
+                ledger.begin_superstep(superstep)
+                outbox = MessageStore(combiner)
+                inbound_per_worker = [0] * self.num_workers
+
+                batches = self._build_batches(active, inbox)
+                results = executor.run_superstep(superstep, batches, registry)
+                # Barrier: shuffle messages and fold per-worker effects in
+                # worker-id order (= the serial engine's interleaving).
+                for result in results:
+                    wid = result.worker_id
+                    ledger.add_cost(wid, result.cost)
+                    ledger.add_messages(wid, result.messages_sent)
+                    ledger.add_compute(wid, result.compute_calls)
+                    for dest, count in enumerate(result.inbound):
+                        inbound_per_worker[dest] += count
+                    outbox.merge_batch(result.outbox)
+                    outputs.extend(result.outputs)
+                    if merge_program_state:
+                        if result.agg_contribs:
+                            for name, value in result.agg_contribs.items():
+                                registry.aggregate(name, value)
+                        program.merge_state_delta(result.state_delta)
+
+                registry.end_superstep()
+                ledger.total_emitted = len(outputs)
                 ledger.end_superstep(
                     live_messages=len(outbox),
                     max_worker_live=max(inbound_per_worker),
                 )
-            except Exception:
-                program.post_application()
-                raise
-            if not outbox:
-                break
-            inbox = outbox
-            active = inbox.destinations()
-            superstep += 1
+                if not outbox:
+                    break
+                inbox = outbox
+                active = inbox.destinations()
+                superstep += 1
+        except Exception:
+            # Teardown runs on every exit path — simulated OOM, the
+            # max_supersteps guard, or a fault inside compute.
+            program.post_application()
+            raise
+        finally:
+            executor.close()
         program.post_application()
         return BSPResult(
             outputs=outputs,
@@ -163,49 +212,15 @@ class BSPEngine:
         )
 
     # ------------------------------------------------------------------
-    def _run_superstep(
-        self,
-        program: VertexProgram,
-        superstep: int,
-        active: List[int],
-        inbox: MessageStore,
-        outbox: MessageStore,
-        ledger: CostLedger,
-        outputs: List[Any],
-        inbound_per_worker: List[int],
-        registry: AggregatorRegistry,
-    ) -> None:
-        # Group the active set by owning worker so per-worker state is set
-        # up once and costs attribute to the right ledger column.
+    def _build_batches(
+        self, active: List[int], inbox: MessageStore
+    ) -> List[List]:
+        """Group the active set by owning worker, preserving activation
+        order within each worker, and attach each vertex's delivered
+        payloads — the executor-facing unit of work."""
         by_worker: List[List[int]] = [[] for _ in range(self.num_workers)]
         for v in active:
             by_worker[self.partition.owner(v)].append(v)
-
-        for worker in self.workers:
-            vertex_list = by_worker[worker.worker_id]
-            if not vertex_list:
-                continue
-            wid = worker.worker_id
-
-            def send(message: Message, _wid: int = wid) -> None:
-                outbox.add(message)
-                ledger.count_message(_wid)
-                inbound_per_worker[self.partition.owner(message.dest)] += 1
-
-            def add_cost(units: float, _wid: int = wid) -> None:
-                ledger.add_cost(_wid, units)
-
-            ctx = ComputeContext(
-                graph=self.graph,
-                superstep=superstep,
-                worker_id=wid,
-                worker_state=worker.state,
-                send=send,
-                add_cost=add_cost,
-                emit=outputs.append,
-                aggregators=registry,
-            )
-            for v in vertex_list:
-                ctx.vertex = v
-                ledger.count_compute(wid)
-                program.compute(ctx, inbox.take(v))
+        return [
+            [(v, inbox.take(v)) for v in vertices] for vertices in by_worker
+        ]

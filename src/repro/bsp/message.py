@@ -7,7 +7,7 @@ start of the next superstep, exactly like Pregel/Giraph.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, NamedTuple
+from typing import Any, Dict, Iterable, List, NamedTuple, Sequence, Tuple
 
 
 class Message(NamedTuple):
@@ -48,6 +48,44 @@ class MessageStore:
         """Queue several messages."""
         for msg in messages:
             self.add(msg)
+
+    def as_batch(self) -> List[Tuple[int, List[Any]]]:
+        """Snapshot as ``(dest, payloads)`` pairs in first-send order.
+
+        This is the wire format one worker's outbox crosses the barrier
+        in; rebuild with :meth:`merge_batch`.
+        """
+        return list(self._by_vertex.items())
+
+    def merge_batch(self, batch: Sequence[Tuple[int, List[Any]]]) -> None:
+        """Fold one worker's outbox batch into this store.
+
+        Merging batches in worker-id order reproduces exactly the store a
+        serial run builds, because a serial superstep never interleaves
+        two workers' sends: payload lists concatenate in worker order and
+        the combiner (if any) folds across workers in that same order.
+        """
+        for dest, payloads in batch:
+            existing = self._by_vertex.get(dest)
+            if self._combiner is not None:
+                merged = existing[0] if existing else None
+                for payload in payloads:
+                    merged = (
+                        payload
+                        if merged is None
+                        else self._combiner(merged, payload)
+                    )
+                if existing:
+                    existing[0] = merged
+                elif merged is not None:
+                    self._by_vertex[dest] = [merged]
+                    self._count += 1
+            else:
+                if existing is None:
+                    self._by_vertex[dest] = list(payloads)
+                else:
+                    existing.extend(payloads)
+                self._count += len(payloads)
 
     def destinations(self) -> List[int]:
         """Vertices with pending messages (the next superstep's active set)."""

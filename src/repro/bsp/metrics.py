@@ -135,6 +135,17 @@ class CostLedger:
         assert self._current is not None, "no superstep in progress"
         self._current.worker_compute_calls[worker] += 1
 
+    def add_messages(self, worker: int, count: int) -> None:
+        """Record ``count`` messages produced by ``worker`` (bulk form,
+        used when merging a worker's whole superstep at the barrier)."""
+        assert self._current is not None, "no superstep in progress"
+        self._current.worker_messages[worker] += count
+
+    def add_compute(self, worker: int, count: int) -> None:
+        """Record ``count`` vertex-program invocations on ``worker``."""
+        assert self._current is not None, "no superstep in progress"
+        self._current.worker_compute_calls[worker] += count
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------

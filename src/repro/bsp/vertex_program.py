@@ -123,3 +123,33 @@ class VertexProgram:
         message volume when payloads are reducible, e.g. partial sums).
         ``None`` disables combining."""
         return None
+
+    # ------------------------------------------------------------------
+    # Parallel-runtime contract (thread/process backends)
+    # ------------------------------------------------------------------
+    # The serial backend runs ``compute`` against this very object, so
+    # programs may freely mutate ``self``.  Parallel backends instead run
+    # each logical worker against a pickled *replica*; the three hooks
+    # below let driver-side mutable state survive that split.  Programs
+    # that never run on a parallel backend can ignore all of them.
+
+    def bind_graph(self, graph: Graph) -> None:
+        """Re-attach the (shared, read-only) data graph after unpickling.
+
+        Replicas are shipped without the graph — ``__getstate__`` should
+        drop any embedded reference — and the runtime calls this hook with
+        the worker-side graph (shared-memory CSR view in the process
+        backend, the driver's own object in the thread backend)."""
+
+    def collect_state_delta(self) -> Any:
+        """Return and *reset* the driver-relevant state this replica
+        accumulated since the last collection (called once per batch).
+        The default ``None`` means the program keeps no such state."""
+        return None
+
+    def merge_state_delta(self, delta: Any) -> None:
+        """Fold one worker's state delta into the driver's program.
+
+        Called on the driver's instance once per worker per superstep, in
+        worker-id order — so order-dependent state (e.g. an instance
+        list) merges exactly as a serial run would have built it."""

@@ -31,6 +31,7 @@ from .core.listing import PSgL
 from .graph.io import read_edge_list
 from .graph.stats import skew_report
 from .pattern.catalog import describe, get_pattern, paper_patterns, pattern_from_edges
+from .runtime import available_backends
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,6 +54,20 @@ def _build_parser() -> argparse.ArgumentParser:
     source.add_argument("--dataset", help="a registered synthetic analog")
     source.add_argument("--edge-list", help="path to a whitespace edge list")
     count.add_argument("--workers", type=int, default=8)
+    count.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend (process = real parallelism over a "
+        "shared-memory graph)",
+    )
+    count.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="OS processes/threads for parallel backends "
+        "(default: min(workers, cpu count))",
+    )
     count.add_argument("--strategy", default="WA,0.5")
     count.add_argument("--scale", type=float, default=1.0)
     count.add_argument("--seed", type=int, default=0)
@@ -80,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"subset of: {' '.join(EXPERIMENT_IDS)} (default: all)",
     )
     bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend for experiments that support one",
+    )
+    bench.add_argument("--procs", type=int, default=None)
     bench.add_argument("--out", type=Path, default=None, help="directory for .txt reports")
     return parser
 
@@ -99,6 +121,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         edge_index="none" if args.no_index else "bloom",
         seed=args.seed,
+        backend=args.backend,
+        procs=args.procs,
     )
     initial = None if args.initial_vertex is None else args.initial_vertex - 1
     result = psgl.run(pattern, initial_vertex=initial)
@@ -110,6 +134,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
     print(f"gpsis      : {result.total_gpsis:,}")
     print(f"initial vp : v{result.initial_vertex + 1}")
     print(f"strategy   : {result.strategy}")
+    print(f"backend    : {args.backend}")
+    print(f"wall time  : {result.wall_seconds:.3f}s")
     return 0
 
 
@@ -160,7 +186,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    run_all(scale=args.scale, experiments=args.experiments, out_dir=args.out)
+    run_all(
+        scale=args.scale,
+        experiments=args.experiments,
+        out_dir=args.out,
+        backend=args.backend,
+        procs=args.procs,
+    )
     return 0
 
 

@@ -138,6 +138,62 @@ class PSgLProgram(VertexProgram):
         self.per_vertex_counts: Dict[int, int] = {}
         self.message_bytes = 0
 
+    # ------------------------------------------------------------------
+    # Parallel-runtime contract: worker replicas ship without the data
+    # graph (the runtime rebinds a shared view), and driver-side tallies
+    # cross back as per-superstep deltas merged in worker-id order.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        ordered: OrderedGraph = state.pop("ordered")
+        # Ship the O(n) order arrays, not the O(n + m) graph: bind_graph
+        # reattaches the zero-copy shared adjacency on the other side.
+        state["_ordered_arrays"] = (
+            ordered.ranks,
+            ordered.nb_values,
+            ordered.ns_values,
+        )
+        return state
+
+    def bind_graph(self, graph: Graph) -> None:
+        arrays = self.__dict__.pop("_ordered_arrays", None)
+        if arrays is not None:
+            self.ordered = OrderedGraph.from_precomputed(graph, *arrays)
+        else:
+            self.ordered.graph = graph
+
+    def collect_state_delta(self):
+        delta = (
+            self.gpsi_by_vertex,
+            self.instances,
+            self.per_vertex_counts,
+            self.message_bytes,
+            self.edge_index.queries,
+            self.edge_index.positives,
+        )
+        self.gpsi_by_vertex = {}
+        self.instances = []
+        self.per_vertex_counts = {}
+        self.message_bytes = 0
+        self.edge_index.reset_statistics()
+        return delta
+
+    def merge_state_delta(self, delta) -> None:
+        if delta is None:
+            return
+        gpsi_by_vertex, instances, per_vertex, msg_bytes, queries, positives = delta
+        for vp, n in gpsi_by_vertex.items():
+            self.gpsi_by_vertex[vp] = self.gpsi_by_vertex.get(vp, 0) + n
+        self.instances.extend(instances)
+        for vd, n in per_vertex.items():
+            self.per_vertex_counts[vd] = self.per_vertex_counts.get(vd, 0) + n
+        self.message_bytes += msg_bytes
+        # Replicas probed their own index copies; fold the probe counters
+        # into the driver's so ListingResult statistics stay backend-
+        # independent.
+        self.edge_index.queries += queries
+        self.edge_index.positives += positives
+
     def persistent_aggregators(self):
         # The global instance counter lives in a Giraph-style persistent
         # aggregator rather than driver-side mutable state.
@@ -233,6 +289,14 @@ class PSgL:
         Optional explicit partition; defaults to the paper's random one.
     seed:
         Master seed for partitioning and the stochastic strategies.
+    backend:
+        Execution backend for the BSP engine: ``"serial"`` (default),
+        ``"thread"``, or ``"process"`` — the parallel backends run
+        logical workers concurrently over a shared read-only graph and
+        produce the same embeddings and per-worker ledger statistics.
+    procs:
+        OS-level parallelism for parallel backends (default:
+        ``min(num_workers, cpu_count)``).
     """
 
     def __init__(
@@ -248,6 +312,8 @@ class PSgL:
         partition: Optional[Partition] = None,
         seed: int = 0,
         costs: CostParameters = DEFAULT_COSTS,
+        backend: str = "serial",
+        procs: Optional[int] = None,
     ):
         self.graph = graph
         self.ordered = OrderedGraph(graph)
@@ -265,6 +331,8 @@ class PSgL:
         self._edge_index: Optional[EdgeIndexBase] = None
         self.seed = seed
         self.costs = costs
+        self.backend = backend
+        self.procs = procs
 
     # ------------------------------------------------------------------
     def run(
@@ -344,6 +412,8 @@ class PSgL:
             self.partition,
             memory_budget=self.memory_budget,
             worker_memory_budget=self.worker_memory_budget,
+            backend=self.backend,
+            procs=self.procs,
         )
         bsp_result: BSPResult = engine.run(program)
         return ListingResult(

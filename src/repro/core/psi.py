@@ -129,6 +129,11 @@ class Gpsi:
         return result
 
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        # Gpsis are the bulk of inter-process message traffic; reduce to a
+        # plain constructor call so pickling skips slot-state dicts.
+        return (Gpsi, (self.mapping, self.black, self.next_vertex))
+
     def with_next(self, next_vertex: int) -> "Gpsi":
         """Copy addressed at a different expansion vertex."""
         return Gpsi(self.mapping, self.black, next_vertex)

@@ -113,6 +113,43 @@ class Graph:
                 yield (u, int(v))
 
     # ------------------------------------------------------------------
+    # CSR (compressed sparse row) export / import
+    # ------------------------------------------------------------------
+    def to_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flatten the adjacency into CSR ``(indptr, indices)`` arrays.
+
+        ``indices[indptr[v]:indptr[v+1]]`` is the sorted neighbour list of
+        ``v``.  Both arrays are ``int64`` and contiguous, which is what the
+        shared-memory runtime exports to worker processes.
+        """
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(self._degrees, out=indptr[1:])
+        if self._n and indptr[-1]:
+            indices = np.concatenate(self._adj)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        return indptr, np.ascontiguousarray(indices, dtype=np.int64)
+
+    @classmethod
+    def from_csr(cls, indptr: np.ndarray, indices: np.ndarray) -> "Graph":
+        """Rebuild a graph around existing CSR arrays **without copying**.
+
+        The per-vertex adjacency arrays are views into ``indices``, so the
+        caller's buffer (e.g. a ``multiprocessing.shared_memory`` block)
+        backs the whole graph.  Neighbour lists must already be sorted and
+        duplicate/self-loop free, as produced by :meth:`to_csr`.
+        """
+        if len(indptr) == 0:
+            raise GraphError("indptr must have at least one entry")
+        graph = cls.__new__(cls)
+        n = len(indptr) - 1
+        graph._n = n
+        graph._adj = [indices[indptr[v]:indptr[v + 1]] for v in range(n)]
+        graph._degrees = np.asarray(np.diff(indptr), dtype=np.int64)
+        graph._m = int(graph._degrees.sum()) // 2
+        return graph
+
+    # ------------------------------------------------------------------
     # Convenience constructors and views
     # ------------------------------------------------------------------
     @classmethod

@@ -1,0 +1,218 @@
+"""The superstep executor interface and the shared worker-batch kernel.
+
+The BSP engine no longer runs logical workers itself: each superstep it
+builds one *batch* per logical worker — the worker's active vertices with
+their delivered messages, in deterministic order — and hands all batches
+to a :class:`SuperstepExecutor`.  The executor runs them (sequentially,
+on threads, or on a process pool) and returns one
+:class:`WorkerStepResult` per non-empty batch.  The engine then merges
+results **in worker-id order**, which makes every backend reproduce the
+serial engine's outputs, ledger and message order exactly:
+
+* per-worker iteration order is fixed by the batch,
+* per-worker accumulation (cost, sends, outputs) happens locally in that
+  order, and
+* the merge concatenates per-worker effects in the same order the serial
+  loop interleaved them (worker 0's sends always precede worker 1's).
+
+Executor families
+-----------------
+``inprocess = True`` (serial): the batch kernel runs against the driver's
+own program object and aggregator registry, preserving the simulator's
+legacy semantics bit-for-bit — including programs that mutate ``self``
+inside ``compute`` and read persistent aggregators mid-superstep.
+
+``inprocess = False`` (thread, process): each logical worker computes on
+a *replica* of the program; driver-side mutable state crosses back via
+:meth:`~repro.bsp.vertex_program.VertexProgram.collect_state_delta`, and
+aggregator contributions are reduced locally and merged at the barrier.
+Programs that need driver state in parallel backends implement the delta
+hooks (the PSgL program does); aggregator reads see a snapshot taken at
+the superstep barrier rather than mid-superstep live values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bsp.message import Message, MessageStore
+from ..bsp.vertex_program import ComputeContext, VertexProgram
+from ..graph.graph import Graph
+from ..graph.partition import Partition
+
+# One logical worker's superstep input: (vertex, delivered payloads) in
+# delivery order.  Superstep 0 delivers empty payload lists.
+WorkerBatch = List[Tuple[int, List[Any]]]
+
+
+@dataclass
+class JobSpec:
+    """Everything an executor needs to set up a job."""
+
+    program: VertexProgram
+    graph: Graph
+    partition: Partition
+    num_workers: int
+    worker_states: List[Dict[str, Any]]
+
+
+@dataclass
+class WorkerStepResult:
+    """What one logical worker produced in one superstep.
+
+    ``outbox`` is the worker's sent messages as ``(dest, payloads)`` pairs
+    in first-send order, already combined per destination when the program
+    declares a message combiner.  ``messages_sent`` counts raw ``send``
+    calls (pre-combining), matching the ledger's accounting.  ``inbound``
+    counts raw sends per *destination-owning* worker, which feeds the
+    per-worker OOM budget.
+    """
+
+    worker_id: int
+    outbox: List[Tuple[int, List[Any]]]
+    messages_sent: int
+    inbound: List[int]
+    compute_calls: int
+    cost: float
+    outputs: List[Any]
+    agg_contribs: Optional[Dict[str, Any]] = None
+    state_delta: Any = None
+    worker_state: Optional[Dict[str, Any]] = None
+
+
+class WorkerAggregators:
+    """Per-batch aggregator shim for out-of-process workers.
+
+    Contributions fold into fresh identity-initialised aggregators (so the
+    batch's reduced contribution can be shipped to the driver and merged
+    there); reads answer from the barrier snapshot the driver provided.
+    """
+
+    __slots__ = ("_aggs", "_snapshot", "_touched")
+
+    def __init__(self, aggs: Dict[str, Any], snapshot: Dict[str, Any]):
+        self._aggs = aggs
+        self._snapshot = snapshot
+        self._touched: set = set()
+
+    def aggregate(self, name: str, value: Any) -> None:
+        if name not in self._aggs:
+            raise KeyError(f"unknown aggregator {name!r}")
+        self._aggs[name].aggregate(value)
+        self._touched.add(name)
+
+    def visible(self, name: str) -> Any:
+        if name not in self._snapshot:
+            raise KeyError(f"unknown aggregator {name!r}")
+        return self._snapshot[name]
+
+    def contributions(self) -> Dict[str, Any]:
+        """Reduced contributions of this batch (touched aggregators only)."""
+        return {name: self._aggs[name].value for name in self._touched}
+
+
+def fresh_aggregators(program: VertexProgram) -> Dict[str, Any]:
+    """Identity-initialised aggregator instances for one batch."""
+    aggs = dict(program.aggregators())
+    aggs.update(program.persistent_aggregators())
+    return aggs
+
+
+def run_worker_batch(
+    program: VertexProgram,
+    graph: Graph,
+    partition: Partition,
+    num_workers: int,
+    worker_id: int,
+    superstep: int,
+    batch: WorkerBatch,
+    worker_state: Dict[str, Any],
+    aggregators: Any,
+    combiner: Any,
+    collect_delta: bool,
+) -> WorkerStepResult:
+    """Run one logical worker's compute batch and collect its effects.
+
+    This is the kernel every backend shares; determinism of the whole
+    runtime reduces to this function being deterministic given the same
+    batch and worker state, which it is: vertices run in batch order and
+    all side effects accumulate locally in program order.
+    """
+    local_outbox = MessageStore(combiner)
+    inbound = [0] * num_workers
+    outputs: List[Any] = []
+    acc = {"cost": 0.0, "sent": 0}
+
+    def send(message: Message) -> None:
+        local_outbox.add(message)
+        acc["sent"] += 1
+        inbound[partition.owner(message.dest)] += 1
+
+    def add_cost(units: float) -> None:
+        acc["cost"] += units
+
+    ctx = ComputeContext(
+        graph=graph,
+        superstep=superstep,
+        worker_id=worker_id,
+        worker_state=worker_state,
+        send=send,
+        add_cost=add_cost,
+        emit=outputs.append,
+        aggregators=aggregators,
+    )
+    compute_calls = 0
+    for vertex, payloads in batch:
+        ctx.vertex = vertex
+        compute_calls += 1
+        program.compute(ctx, payloads)
+
+    return WorkerStepResult(
+        worker_id=worker_id,
+        outbox=local_outbox.as_batch(),
+        messages_sent=acc["sent"],
+        inbound=inbound,
+        compute_calls=compute_calls,
+        cost=acc["cost"],
+        outputs=outputs,
+        agg_contribs=(
+            aggregators.contributions()
+            if isinstance(aggregators, WorkerAggregators)
+            else None
+        ),
+        state_delta=program.collect_state_delta() if collect_delta else None,
+    )
+
+
+class SuperstepExecutor:
+    """Pluggable parallel backend for the BSP engine.
+
+    Lifecycle: ``start(spec)`` once per job, ``run_superstep(...)`` once
+    per superstep, ``close()`` exactly once (the engine guarantees it in a
+    ``finally``).  ``run_superstep`` must return results sorted by
+    ``worker_id`` and may omit workers with empty batches.
+    """
+
+    #: Whether batches run against the driver's own program/registry
+    #: objects (serial) or against replicas (thread/process).
+    inprocess: bool = False
+
+    #: Registry name (filled by the backend registry on instantiation).
+    name: str = "abstract"
+
+    def start(self, spec: JobSpec) -> None:
+        """Prepare for a job (export shared state, warm pools, ...)."""
+        raise NotImplementedError
+
+    def run_superstep(
+        self,
+        superstep: int,
+        batches: List[WorkerBatch],
+        registry: Any,
+    ) -> List[WorkerStepResult]:
+        """Run all non-empty batches; ``batches[w]`` belongs to worker ``w``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear down pools and shared resources (idempotent)."""

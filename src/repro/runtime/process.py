@@ -1,0 +1,180 @@
+"""The process backend: real parallelism over a shared-memory graph.
+
+Topology
+--------
+* The driver exports the data graph once as CSR arrays in
+  ``multiprocessing.shared_memory`` (:mod:`repro.runtime.shared_graph`).
+* A persistent pool of OS processes attaches at initialisation: each
+  child maps the blocks, rebuilds a zero-copy :class:`Graph`, unpickles
+  **one** program replica (the pickle omits the graph; ``bind_graph``
+  splices the shared one in) and keeps both for the whole job.
+* Every superstep the driver ships each non-empty logical worker's batch
+  — active vertices, delivered payloads, the worker's private state dict
+  and an aggregator snapshot — and receives the worker's outbox batch,
+  ledger delta, outputs, aggregator contributions and program state
+  delta.  The engine shuffles returned messages by destination worker at
+  the barrier (merge in worker-id order keeps delivery order identical
+  to the serial engine).
+
+Logical workers are *location independent*: their private state rides
+along with the batch, so any pool process can execute any worker in any
+superstep and results stay deterministic.  Requirements on the program:
+picklable sans graph, picklable messages/outputs/worker state, and the
+state-delta hooks for driver-side mutable state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from .executor import (
+    JobSpec,
+    SuperstepExecutor,
+    WorkerAggregators,
+    WorkerBatch,
+    WorkerStepResult,
+    fresh_aggregators,
+    run_worker_batch,
+)
+from .shared_graph import (
+    AttachedSharedGraph,
+    SharedGraphExport,
+    SharedGraphHandle,
+    attach_shared_graph,
+)
+
+# Child-process globals, set once by the pool initializer.
+_child_graph: Optional[AttachedSharedGraph] = None
+_child_program: Any = None
+_child_partition: Any = None
+_child_num_workers: int = 0
+
+
+def _init_child(
+    handle: SharedGraphHandle,
+    program_bytes: bytes,
+    partition: Any,
+    num_workers: int,
+) -> None:
+    global _child_graph, _child_program, _child_partition, _child_num_workers
+    _child_graph = attach_shared_graph(handle)
+    _child_program = pickle.loads(program_bytes)
+    _child_program.bind_graph(_child_graph.graph)
+    _child_partition = partition
+    _child_num_workers = num_workers
+
+
+def _run_child_batch(
+    worker_id: int,
+    superstep: int,
+    batch: WorkerBatch,
+    worker_state: Dict[str, Any],
+    snapshot: Dict[str, Any],
+) -> WorkerStepResult:
+    shim = WorkerAggregators(fresh_aggregators(_child_program), snapshot)
+    result = run_worker_batch(
+        program=_child_program,
+        graph=_child_graph.graph,
+        partition=_child_partition,
+        num_workers=_child_num_workers,
+        worker_id=worker_id,
+        superstep=superstep,
+        batch=batch,
+        worker_state=worker_state,
+        aggregators=shim,
+        combiner=_child_program.message_combiner(),
+        collect_delta=True,
+    )
+    # The state dict was mutated in place; ship it back so the logical
+    # worker can land on a different pool process next superstep.
+    result.worker_state = worker_state
+    return result
+
+
+def default_procs(num_workers: int) -> int:
+    """Pool width: one process per logical worker, capped by the machine."""
+    return max(1, min(num_workers, os.cpu_count() or 1))
+
+
+class ProcessExecutor(SuperstepExecutor):
+    """Process-pool superstep executor over a shared-memory graph."""
+
+    inprocess = False
+    name = "process"
+
+    def __init__(
+        self,
+        procs: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        self._procs = procs
+        self._start_method = start_method
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._export: Optional[SharedGraphExport] = None
+        self._states: List[Dict[str, Any]] = []
+        self._spec: Optional[JobSpec] = None
+
+    def start(self, spec: JobSpec) -> None:
+        self._spec = spec
+        self._export = SharedGraphExport(spec.graph)
+        program_bytes = pickle.dumps(spec.program)
+        method = self._start_method
+        if method is None:
+            # fork shares the warm interpreter (fast start); fall back to
+            # spawn where fork is unavailable (e.g. Windows, macOS default).
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        procs = self._procs or default_procs(spec.num_workers)
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=procs,
+                mp_context=multiprocessing.get_context(method),
+                initializer=_init_child,
+                initargs=(
+                    self._export.handle,
+                    program_bytes,
+                    spec.partition,
+                    spec.num_workers,
+                ),
+            )
+        except Exception:
+            self._export.close()
+            self._export = None
+            raise
+        self._states = [{} for _ in range(spec.num_workers)]
+
+    def run_superstep(
+        self, superstep: int, batches: List[WorkerBatch], registry: Any
+    ) -> List[WorkerStepResult]:
+        snapshot = registry.snapshot()
+        futures = [
+            self._pool.submit(
+                _run_child_batch,
+                worker_id,
+                superstep,
+                batch,
+                self._states[worker_id],
+                snapshot,
+            )
+            for worker_id, batch in enumerate(batches)
+            if batch
+        ]
+        results = [future.result() for future in futures]
+        for result in results:
+            self._states[result.worker_id] = result.worker_state
+            result.worker_state = None  # driver-side bookkeeping only
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._export is not None:
+            self._export.close()
+            self._export = None
+        self._states = []
+        self._spec = None

@@ -1,0 +1,61 @@
+"""Backend registry: name -> superstep-executor factory.
+
+``BSPEngine(..., backend="process", procs=4)`` resolves here.  A backend
+is any callable accepting ``procs`` and returning a
+:class:`~repro.runtime.executor.SuperstepExecutor`; third parties can
+register their own (e.g. an async or NUMA-aware shuffler in a later PR).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from ..exceptions import EngineError
+from .executor import SuperstepExecutor
+from .process import ProcessExecutor
+from .serial import SerialExecutor
+from .threaded import ThreadExecutor
+
+ExecutorFactory = Callable[..., SuperstepExecutor]
+
+_BACKENDS: Dict[str, ExecutorFactory] = {}
+
+
+def register_backend(name: str, factory: ExecutorFactory) -> None:
+    """Register (or replace) a backend under ``name``."""
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, serial first."""
+    names = sorted(_BACKENDS)
+    names.remove("serial")
+    return ["serial"] + names
+
+
+def make_executor(
+    backend: Union[str, SuperstepExecutor, None] = "serial",
+    procs: Optional[int] = None,
+) -> SuperstepExecutor:
+    """Resolve ``backend`` to a ready-to-start executor.
+
+    Accepts a registered name, an executor instance (returned as-is, for
+    callers that pre-configured one), or ``None`` (serial).
+    """
+    if backend is None:
+        backend = "serial"
+    if isinstance(backend, SuperstepExecutor):
+        return backend
+    factory = _BACKENDS.get(backend)
+    if factory is None:
+        raise EngineError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        )
+    executor = factory(procs=procs)
+    executor.name = backend
+    return executor
+
+
+register_backend("serial", SerialExecutor)
+register_backend("thread", ThreadExecutor)
+register_backend("process", ProcessExecutor)

@@ -1,0 +1,62 @@
+"""The serial backend: the original simulator loop behind the new API.
+
+Runs every logical worker's batch in the driver process against the
+driver's own program object and aggregator registry, in worker-id order —
+exactly what ``BSPEngine._run_superstep`` did before the runtime existed.
+Outputs, ledger contents and message order are bit-for-bit identical to
+the legacy engine, so all simulation results remain reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .executor import (
+    JobSpec,
+    SuperstepExecutor,
+    WorkerBatch,
+    WorkerStepResult,
+    run_worker_batch,
+)
+
+
+class SerialExecutor(SuperstepExecutor):
+    """One process, one thread: the reference implementation."""
+
+    inprocess = True
+    name = "serial"
+
+    def __init__(self, procs: int = None):  # ``procs`` ignored: always 1
+        self._spec: JobSpec = None
+
+    def start(self, spec: JobSpec) -> None:
+        self._spec = spec
+        self._combiner = spec.program.message_combiner()
+
+    def run_superstep(
+        self, superstep: int, batches: List[WorkerBatch], registry: Any
+    ) -> List[WorkerStepResult]:
+        spec = self._spec
+        results = []
+        for worker_id, batch in enumerate(batches):
+            if not batch:
+                continue
+            results.append(
+                run_worker_batch(
+                    program=spec.program,
+                    graph=spec.graph,
+                    partition=spec.partition,
+                    num_workers=spec.num_workers,
+                    worker_id=worker_id,
+                    superstep=superstep,
+                    batch=batch,
+                    worker_state=spec.worker_states[worker_id],
+                    aggregators=registry,
+                    combiner=self._combiner,
+                    collect_delta=False,
+                )
+            )
+        return results
+
+    def close(self) -> None:
+        self._spec = None

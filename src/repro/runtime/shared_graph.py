@@ -1,0 +1,158 @@
+"""Zero-copy shared data graph for multi-process execution.
+
+The paper replicates the data graph on every Giraph worker; shared-memory
+subgraph enumerators (Kimmig et al.) instead keep **one** read-only copy
+that every worker scans.  This module gives the process backend the same
+property on a single machine: the driver flattens the :class:`~repro.graph.graph.Graph`
+into CSR ``indptr``/``indices`` arrays, copies them once into two
+``multiprocessing.shared_memory`` blocks, and ships only the block *names*
+to worker processes.  Each worker re-wraps the blocks as numpy arrays and
+rebuilds a :class:`Graph` whose per-vertex adjacency lists are views into
+the shared buffer — attaching is O(num_vertices) pointer setup, never a
+copy or a pickle of the edge data.
+
+Layout
+------
+Block ``<name>`` holds ``indptr``: ``(n + 1)`` little-endian ``int64``;
+block ``<name>`` holds ``indices``: ``m2`` ``int64`` (``m2 = 2|E|``), the
+concatenated sorted neighbour lists.  A :class:`SharedGraphHandle` carries
+the two block names plus both lengths, and is what crosses the process
+boundary (a few dozen bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable pointer to an exported shared graph."""
+
+    indptr_name: str
+    indices_name: str
+    num_vertices: int
+    num_indices: int
+
+
+class SharedGraphExport:
+    """Driver-side owner of the shared CSR blocks.
+
+    The driver creates one export per job, hands ``handle`` to every
+    worker process, and calls :meth:`close` (which also unlinks) when the
+    job finishes.  The export owns the blocks: workers only attach.
+    """
+
+    def __init__(self, graph: Graph):
+        indptr, indices = graph.to_csr()
+        self._shm_indptr = shared_memory.SharedMemory(
+            create=True, size=max(indptr.nbytes, 1)
+        )
+        self._shm_indices = shared_memory.SharedMemory(
+            create=True, size=max(indices.nbytes, 1)
+        )
+        np.ndarray(indptr.shape, dtype=np.int64, buffer=self._shm_indptr.buf)[
+            :
+        ] = indptr
+        if len(indices):
+            np.ndarray(
+                indices.shape, dtype=np.int64, buffer=self._shm_indices.buf
+            )[:] = indices
+        self.handle = SharedGraphHandle(
+            indptr_name=self._shm_indptr.name,
+            indices_name=self._shm_indices.name,
+            num_vertices=graph.num_vertices,
+            num_indices=len(indices),
+        )
+        self._closed = False
+
+    def nbytes(self) -> int:
+        """Total shared bytes (the one copy all workers scan)."""
+        return self._shm_indptr.size + self._shm_indices.size
+
+    def close(self) -> None:
+        """Release and unlink both blocks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in (self._shm_indptr, self._shm_indices):
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedGraphExport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AttachedSharedGraph:
+    """Worker-side view: a :class:`Graph` backed by the shared blocks.
+
+    Keeps the ``SharedMemory`` objects referenced so the mapping outlives
+    the numpy views; call :meth:`close` (never ``unlink``) when done.
+    """
+
+    def __init__(self, handle: SharedGraphHandle):
+        shm_indptr = _attach_untracked(handle.indptr_name)
+        shm_indices = _attach_untracked(handle.indices_name)
+        self._blocks: List[shared_memory.SharedMemory] = [
+            shm_indptr,
+            shm_indices,
+        ]
+        indptr = np.ndarray(
+            (handle.num_vertices + 1,), dtype=np.int64, buffer=shm_indptr.buf
+        )
+        indices = np.ndarray(
+            (handle.num_indices,), dtype=np.int64, buffer=shm_indices.buf
+        )
+        self.graph = Graph.from_csr(indptr, indices)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the export owns the lifetime)."""
+        # The Graph's adjacency views alias the buffers; drop them first so
+        # closing the mapping cannot invalidate live arrays.
+        self.graph = None
+        for shm in self._blocks:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._blocks = []
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker registration.
+
+    Until Python 3.13's ``track=False``, attaching re-registers the
+    segment with the resource tracker, so every worker's exit would try
+    to unlink a block the *driver* owns (spurious KeyErrors and
+    premature unlinks).  Suppressing registration during attach restores
+    single-owner semantics; attach runs in the single-threaded pool
+    initializer, so the temporary patch cannot race.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_shared_graph(handle: SharedGraphHandle) -> AttachedSharedGraph:
+    """Attach to an exported graph; returns the worker-side view."""
+    return AttachedSharedGraph(handle)

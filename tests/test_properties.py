@@ -5,6 +5,8 @@ across random graphs, agreement of every engine with the oracle,
 Property 1 identities, bloom soundness, and cost-ledger consistency.
 """
 
+import math
+
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import PSgL
@@ -184,8 +186,18 @@ class TestLedgerConsistency:
 class TestBinomialMath:
     @given(st.integers(min_value=0, max_value=60), st.integers(min_value=0, max_value=60))
     def test_pascal_identity(self, n, k):
+        # binomial() is a float-valued cost *estimate* by contract, so the
+        # identity is exact only while all three terms fit a float
+        # mantissa (< 2**53); beyond that the two sides may round a tie
+        # differently (first seen at C(58, 33)) and the property holds to
+        # within one ulp.
         if 1 <= k <= n:
-            assert binomial(n, k) == binomial(n - 1, k - 1) + binomial(n - 1, k)
+            lhs = binomial(n, k)
+            rhs = binomial(n - 1, k - 1) + binomial(n - 1, k)
+            if lhs < 2.0**53:
+                assert lhs == rhs
+            else:
+                assert math.isclose(lhs, rhs, rel_tol=1e-15)
 
 
 class TestExpansionInvariants:

@@ -1,0 +1,284 @@
+"""Unit tests for the parallel runtime: CSR export, shared-memory graph,
+backend registry, executor semantics, and engine regressions."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPEngine, MessageStore, VertexProgram, sum_aggregator
+from repro.bsp.message import Message
+from repro.exceptions import EngineError
+from repro.graph import Graph, hash_partition
+from repro.graph.generators import erdos_renyi
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedGraphExport,
+    ThreadExecutor,
+    attach_shared_graph,
+    available_backends,
+    make_executor,
+    register_backend,
+)
+
+
+def path_graph(n):
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestCSR:
+    def test_roundtrip(self):
+        g = erdos_renyi(40, 0.2, seed=7)
+        indptr, indices = g.to_csr()
+        assert indptr[0] == 0 and indptr[-1] == len(indices) == 2 * g.num_edges
+        rebuilt = Graph.from_csr(indptr, indices)
+        assert rebuilt == g
+        assert rebuilt.num_edges == g.num_edges
+
+    def test_views_not_copies(self):
+        g = path_graph(5)
+        indptr, indices = g.to_csr()
+        rebuilt = Graph.from_csr(indptr, indices)
+        assert rebuilt.neighbors(1).base is indices
+
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        indptr, indices = g.to_csr()
+        rebuilt = Graph.from_csr(indptr, indices)
+        assert rebuilt.num_vertices == 0 and rebuilt.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = Graph(4, [(0, 1)])
+        rebuilt = Graph.from_csr(*g.to_csr())
+        assert rebuilt == g
+        assert rebuilt.degree(3) == 0
+
+
+class TestSharedGraph:
+    def test_export_attach_roundtrip(self):
+        g = erdos_renyi(30, 0.3, seed=1)
+        with SharedGraphExport(g) as export:
+            attached = attach_shared_graph(export.handle)
+            try:
+                assert attached.graph == g
+                assert attached.graph.has_edge(*next(iter(g.edges())))
+            finally:
+                attached.close()
+
+    def test_handle_is_small_and_picklable(self):
+        import pickle
+
+        g = erdos_renyi(50, 0.2, seed=2)
+        with SharedGraphExport(g) as export:
+            blob = pickle.dumps(export.handle)
+            # The point of shared memory: the handle, not the graph,
+            # crosses the process boundary.
+            assert len(blob) < 500
+            assert export.nbytes() >= 8 * (g.num_vertices + 1)
+
+    def test_close_is_idempotent(self):
+        export = SharedGraphExport(path_graph(3))
+        export.close()
+        export.close()
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"serial", "thread", "process"} <= set(available_backends())
+        assert available_backends()[0] == "serial"
+
+    def test_make_by_name(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread"), ThreadExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+        assert isinstance(make_executor(None), SerialExecutor)
+
+    def test_instance_passthrough(self):
+        executor = SerialExecutor()
+        assert make_executor(executor) is executor
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EngineError):
+            make_executor("gpu-cluster")
+
+    def test_custom_backend_registration(self):
+        register_backend("custom-serial", SerialExecutor)
+        try:
+            assert isinstance(make_executor("custom-serial"), SerialExecutor)
+        finally:
+            import repro.runtime.registry as reg
+
+            del reg._BACKENDS["custom-serial"]
+
+
+class TestMessageStoreBatches:
+    def test_as_batch_merge_batch_roundtrip(self):
+        a = MessageStore()
+        a.add(Message(2, "x"))
+        a.add(Message(1, "y"))
+        a.add(Message(2, "z"))
+        merged = MessageStore()
+        merged.merge_batch(a.as_batch())
+        assert len(merged) == 3
+        assert merged.destinations() == [2, 1]
+        assert merged.take(2) == ["x", "z"]
+
+    def test_merge_preserves_worker_order(self):
+        w0, w1 = MessageStore(), MessageStore()
+        w0.add(Message(5, "a0"))
+        w1.add(Message(5, "b0"))
+        w1.add(Message(6, "b1"))
+        merged = MessageStore()
+        merged.merge_batch(w0.as_batch())
+        merged.merge_batch(w1.as_batch())
+        assert merged.destinations() == [5, 6]
+        assert merged.take(5) == ["a0", "b0"]
+
+    def test_merge_applies_combiner_across_workers(self):
+        combine = lambda a, b: a + b  # noqa: E731
+        w0, w1 = MessageStore(combine), MessageStore(combine)
+        w0.add(Message(3, 1))
+        w0.add(Message(3, 2))
+        w1.add(Message(3, 4))
+        merged = MessageStore(combine)
+        merged.merge_batch(w0.as_batch())
+        merged.merge_batch(w1.as_batch())
+        # combined payload, counted once per destination like live adds
+        assert len(merged) == 1
+        assert merged.take(3) == [7]
+
+
+class Ripple(VertexProgram):
+    """Sends its vertex id along the path for ``rounds`` supersteps and
+    tallies everything through the parallel-safe delta hooks."""
+
+    def __init__(self, rounds=3):
+        self.rounds = rounds
+        self.seen = {}
+
+    def compute(self, ctx, messages):
+        for payload in messages:
+            self.seen[payload] = self.seen.get(payload, 0) + 1
+            ctx.emit((ctx.superstep, ctx.vertex, payload))
+        ctx.aggregate("hops", len(messages))
+        ctx.add_cost(1.0 + len(messages))
+        if ctx.superstep < self.rounds:
+            for u in ctx.graph.neighbors(ctx.vertex):
+                ctx.send(int(u), ctx.vertex)
+
+    def persistent_aggregators(self):
+        return {"hops": sum_aggregator(0)}
+
+    def collect_state_delta(self):
+        delta = self.seen
+        self.seen = {}
+        return delta
+
+    def merge_state_delta(self, delta):
+        for key, n in delta.items():
+            self.seen[key] = self.seen.get(key, 0) + n
+
+
+class TestBackendEquivalence:
+    """Engine-level parity: every backend must reproduce the serial run."""
+
+    def _run(self, backend, procs=2):
+        g = erdos_renyi(24, 0.25, seed=9)
+        program = Ripple(rounds=3)
+        engine = BSPEngine(
+            g, hash_partition(24, 3), backend=backend, procs=procs
+        )
+        result = engine.run(program)
+        return program, result
+
+    def test_thread_matches_serial(self):
+        p_serial, r_serial = self._run("serial")
+        p_thread, r_thread = self._run("thread")
+        assert p_thread.seen == p_serial.seen
+        assert r_thread.outputs == r_serial.outputs
+        assert r_thread.aggregated == r_serial.aggregated
+        assert r_thread.ledger.summary() == r_serial.ledger.summary()
+
+    def test_process_matches_serial(self):
+        p_serial, r_serial = self._run("serial")
+        p_proc, r_proc = self._run("process")
+        assert p_proc.seen == p_serial.seen
+        assert r_proc.outputs == r_serial.outputs
+        assert r_proc.aggregated == r_serial.aggregated
+        for s_serial, s_proc in zip(r_serial.ledger.steps, r_proc.ledger.steps):
+            assert s_proc.worker_cost == s_serial.worker_cost
+            assert s_proc.worker_messages == s_serial.worker_messages
+            assert s_proc.worker_compute_calls == s_serial.worker_compute_calls
+
+    def test_process_oom_budget_still_enforced(self):
+        from repro.exceptions import SimulatedOOMError
+
+        g = erdos_renyi(24, 0.25, seed=9)
+        engine = BSPEngine(
+            g,
+            hash_partition(24, 3),
+            memory_budget=3,
+            backend="process",
+            procs=2,
+        )
+        with pytest.raises(SimulatedOOMError):
+            engine.run(Ripple(rounds=2))
+
+
+class TestEngineTeardown:
+    def test_post_application_called_on_max_supersteps(self):
+        """Regression: the max_supersteps overflow path must tear the
+        program down exactly like the OOM path does."""
+
+        class PingPong(VertexProgram):
+            def __init__(self):
+                self.torn_down = False
+
+            def compute(self, ctx, messages):
+                ctx.send(ctx.vertex, "again")
+
+            def post_application(self):
+                self.torn_down = True
+
+        program = PingPong()
+        engine = BSPEngine(
+            path_graph(2), hash_partition(2, 1), max_supersteps=4
+        )
+        with pytest.raises(EngineError):
+            engine.run(program)
+        assert program.torn_down
+
+    def test_post_application_called_once_on_success(self):
+        class Silent(VertexProgram):
+            calls = 0
+
+            def compute(self, ctx, messages):
+                pass
+
+            def post_application(self):
+                Silent.calls += 1
+
+        Silent.calls = 0
+        BSPEngine(path_graph(3), hash_partition(3, 1)).run(Silent())
+        assert Silent.calls == 1
+
+    def test_shared_memory_released_after_process_run(self):
+        g = erdos_renyi(20, 0.2, seed=4)
+        engine = BSPEngine(
+            g, hash_partition(20, 2), backend="process", procs=2
+        )
+        engine.run(Ripple(rounds=1))
+        # A second run must re-export cleanly (fails if blocks leak/clash).
+        engine.run(Ripple(rounds=1))
+
+
+class TestOrderedPrecomputed:
+    def test_from_precomputed_matches_fresh(self):
+        from repro.graph import OrderedGraph
+
+        g = erdos_renyi(25, 0.3, seed=11)
+        fresh = OrderedGraph(g)
+        rebuilt = OrderedGraph.from_precomputed(
+            g, fresh.ranks, fresh.nb_values, fresh.ns_values
+        )
+        assert np.array_equal(rebuilt.ranks, fresh.ranks)
+        assert rebuilt.check_property1() == fresh.check_property1()

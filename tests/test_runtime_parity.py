@@ -1,0 +1,96 @@
+"""Backend parity: serial vs. parallel backends must agree exactly.
+
+For every pattern in the catalog, on small random graphs, the process
+backend must return the identical embedding set AND the identical
+per-worker compute/message ledger — parallel execution changes where
+work runs, never what work happens.  This is the core guarantee that
+lets every simulator-era result stand on the real runtime.
+"""
+
+import pytest
+
+from repro.core import PSgL
+from repro.graph.generators import chung_lu_power_law, erdos_renyi
+from repro.pattern import paper_patterns
+
+GRAPHS = {
+    "er": erdos_renyi(28, 0.25, seed=13),
+    "powerlaw": chung_lu_power_law(30, gamma=2.5, avg_degree=4, seed=5),
+}
+
+
+def run_listing(graph, pattern, backend, procs=None):
+    driver = PSgL(
+        graph,
+        num_workers=4,
+        strategy="WA,0.5",
+        seed=3,
+        backend=backend,
+        procs=procs,
+    )
+    return driver.run(pattern, collect_instances=True)
+
+
+def assert_parity(reference, other):
+    assert other.count == reference.count
+    assert sorted(other.instances) == sorted(reference.instances)
+    assert other.supersteps == reference.supersteps
+    assert other.gpsi_by_vertex == reference.gpsi_by_vertex
+    assert other.index_queries == reference.index_queries
+    assert other.index_pruned == reference.index_pruned
+    for step_ref, step_other in zip(reference.ledger.steps, other.ledger.steps):
+        assert step_other.worker_compute_calls == step_ref.worker_compute_calls
+        assert step_other.worker_messages == step_ref.worker_messages
+        assert step_other.worker_cost == step_ref.worker_cost
+    assert other.ledger.peak_live_messages == reference.ledger.peak_live_messages
+
+
+@pytest.mark.parametrize("pattern_name", sorted(paper_patterns()))
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_process_backend_matches_serial(graph_name, pattern_name):
+    graph = GRAPHS[graph_name]
+    pattern = paper_patterns()[pattern_name]
+    reference = run_listing(graph, pattern, "serial")
+    parallel = run_listing(graph, pattern, "process", procs=2)
+    assert_parity(reference, parallel)
+
+
+@pytest.mark.parametrize("pattern_name", ["PG1", "PG3"])
+def test_thread_backend_matches_serial(pattern_name):
+    graph = GRAPHS["er"]
+    pattern = paper_patterns()[pattern_name]
+    reference = run_listing(graph, pattern, "serial")
+    threaded = run_listing(graph, pattern, "thread", procs=3)
+    assert_parity(reference, threaded)
+
+
+def test_process_backend_respects_strategy_determinism():
+    """Stochastic distribution strategies seed per logical worker, so
+    even the roulette strategy must agree across backends."""
+    graph = GRAPHS["er"]
+    pattern = paper_patterns()["PG2"]
+    for strategy in ("random", "roulette"):
+        serial = PSgL(
+            graph, num_workers=3, strategy=strategy, seed=7, backend="serial"
+        ).run(pattern, collect_instances=True)
+        process = PSgL(
+            graph, num_workers=3, strategy=strategy, seed=7, backend="process", procs=2
+        ).run(pattern, collect_instances=True)
+        assert sorted(process.instances) == sorted(serial.instances)
+        assert process.total_gpsis == serial.total_gpsis
+        assert process.makespan == serial.makespan
+
+
+def test_per_vertex_counts_and_message_bytes_parity():
+    graph = GRAPHS["powerlaw"]
+    pattern = paper_patterns()["PG1"]
+    kwargs = dict(count_per_vertex=True, track_message_bytes=True)
+    serial = PSgL(graph, num_workers=3, seed=1, backend="serial").run(
+        pattern, **kwargs
+    )
+    process = PSgL(
+        graph, num_workers=3, seed=1, backend="process", procs=2
+    ).run(pattern, **kwargs)
+    assert process.per_vertex_counts == serial.per_vertex_counts
+    assert process.message_bytes == serial.message_bytes
+    assert process.count == serial.count
