@@ -1,0 +1,259 @@
+"""Expansion hot-path microbenchmark: scalar vs vectorised Algorithm 5.
+
+The expansion inner loop — candidate filtering over ``N(vd)`` plus the
+Section 5.2.3 bloom probes — is the hot path of the whole framework.
+This benchmark measures it directly, bypassing the BSP engine: it
+collects a reproducible corpus of real ``candidate_set`` calls for every
+PG1–PG5 pattern (first-round initial Gpsis plus second-round ones whose
+GRAY neighbours exercise the edge-index probes), replays the corpus
+through both the vectorised ``candidate_set`` and the retained scalar
+reference, and separately measures raw bloom-probe throughput (batched
+``might_contain_many`` vs one ``in`` probe per key).  Both paths must
+produce identical candidate lists and identical index statistics — the
+run asserts it — so the numbers compare exactly the same work.
+
+The JSON record lands in ``results/BENCH_hotpath.json`` so the perf
+trajectory starts from a measured baseline.  Run the full-size workload
+(the ~122k-edge scale-15 R-MAT the runtime benchmark also uses)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+
+or the CI-friendly smoke run (small graph, separate output file, same
+parity assertions)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke
+
+Environment knobs: ``PSGL_BENCH_RMAT_SCALE`` (log2 vertices, default 15
+for the full run), ``PSGL_BENCH_RMAT_DEG`` (average degree, default 8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.core import Gpsi, candidate_set, candidate_set_scalar, expand_gpsi
+from repro.core.edge_index import BloomEdgeIndex
+from repro.core.init_vertex import select_initial_vertex
+from repro.graph import OrderedGraph
+from repro.graph.generators import rmat
+from repro.pattern import paper_patterns
+from repro.pattern.automorphism import automorphisms, break_automorphisms
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_hotpath.json"
+SMOKE_RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_hotpath_smoke.json"
+
+DEFAULT_SCALE = int(os.environ.get("PSGL_BENCH_RMAT_SCALE", "15"))
+DEFAULT_DEG = float(os.environ.get("PSGL_BENCH_RMAT_DEG", "8"))
+
+
+def collect_calls(graph, ordered, index, pattern, max_seeds, max_deep, seed):
+    """A reproducible corpus of ``candidate_set`` call arguments.
+
+    Mixes first-round Gpsis (initial vertex only, pure WHITE fan-out)
+    with second-round ones (GRAY neighbours present, so candidate
+    generation exercises the edge-index probes too).  Returns a list of
+    ``(gpsi, white_vp, expanding_vp, data_vertex)`` tuples.
+    """
+    rng = np.random.default_rng(seed)
+    init_vp = select_initial_vertex(pattern, graph)
+    eligible = np.flatnonzero(graph.degrees >= pattern.degree(init_vp))
+    if len(eligible) > max_seeds:
+        eligible = np.sort(rng.choice(eligible, size=max_seeds, replace=False))
+    frontier = [Gpsi.initial(pattern, init_vp, int(vd)) for vd in eligible]
+
+    deep = []
+    for gpsi in frontier:
+        outcome = expand_gpsi(gpsi, pattern, ordered, index)
+        for child in outcome.pending[:5]:
+            grays = child.useful_grays(pattern)
+            if grays:
+                deep.append(child.with_next(grays[0]))
+        if len(deep) >= max_deep:
+            break
+    index.reset_statistics()
+
+    calls = []
+    for gpsi in frontier + deep[:max_deep]:
+        vp = gpsi.next_vertex
+        vd = gpsi.mapping[vp]
+        for np_ in pattern.neighbors(vp):
+            if not gpsi.is_black(np_) and not gpsi.is_gray(np_):
+                calls.append((gpsi, np_, vp, vd))
+    return calls
+
+
+def time_candidates(calls, pattern, ordered, index, fn):
+    """Replay the call corpus through ``fn``; seconds + fingerprint."""
+    index.reset_statistics()
+    started = perf_counter()
+    results = [
+        fn(gpsi, wp, vp, vd, pattern, ordered, index)
+        for gpsi, wp, vp, vd in calls
+    ]
+    elapsed = perf_counter() - started
+    return elapsed, results, (index.queries, index.positives)
+
+
+def bench_bloom_probes(index, graph, num_keys, seed):
+    """Raw probe throughput of the packed bloom filter, batched vs scalar."""
+    rng = np.random.default_rng(seed)
+    bloom = index._bloom
+    # Random vertex pairs: a realistic mix of present edges and misses.
+    n = graph.num_vertices
+    us = rng.integers(0, n, size=num_keys, dtype=np.int64)
+    vs = rng.integers(0, n, size=num_keys, dtype=np.int64)
+    keys = (
+        np.minimum(us, vs).astype(np.uint64) * np.uint64(n)
+        + np.maximum(us, vs).astype(np.uint64)
+    )
+
+    started = perf_counter()
+    scalar_hits = sum(1 for k in keys if int(k) in bloom)
+    scalar_s = perf_counter() - started
+
+    started = perf_counter()
+    batched = bloom.might_contain_many(keys)
+    vector_s = perf_counter() - started
+
+    assert int(batched.sum()) == scalar_hits, "scalar/batched probe mismatch"
+    return {
+        "num_keys": int(num_keys),
+        "scalar_seconds": round(scalar_s, 6),
+        "vectorized_seconds": round(vector_s, 6),
+        "scalar_keys_per_second": round(num_keys / scalar_s) if scalar_s else None,
+        "vectorized_keys_per_second": round(num_keys / vector_s) if vector_s else None,
+        "speedup": round(scalar_s / vector_s, 2) if vector_s else None,
+    }
+
+
+def run_benchmark(
+    scale=DEFAULT_SCALE,
+    avg_degree=DEFAULT_DEG,
+    seed=1,
+    max_seeds=4000,
+    max_deep=4000,
+    probe_keys=200_000,
+    out_path=RESULTS_PATH,
+):
+    graph = rmat(scale, avg_degree=avg_degree, seed=seed)
+    ordered = OrderedGraph(graph)
+    index = BloomEdgeIndex(graph, fp_rate=0.01, seed=seed)
+
+    patterns = {}
+    scalar_total = 0.0
+    vector_total = 0.0
+    for name, pattern in sorted(paper_patterns().items()):
+        if not pattern.partial_order and len(automorphisms(pattern)) > 1:
+            pattern = break_automorphisms(pattern)
+        calls = collect_calls(
+            graph, ordered, index, pattern, max_seeds, max_deep, seed
+        )
+        vector_s, vector_lists, vector_stats = time_candidates(
+            calls, pattern, ordered, index, candidate_set
+        )
+        scalar_s, scalar_lists, scalar_stats = time_candidates(
+            calls, pattern, ordered, index, candidate_set_scalar
+        )
+        assert scalar_lists == vector_lists, f"{name}: candidate lists diverged"
+        assert scalar_stats == vector_stats, f"{name}: probe statistics diverged"
+        scalar_total += scalar_s
+        vector_total += vector_s
+        patterns[name] = {
+            "calls": len(calls),
+            "candidates": sum(len(c) for c in vector_lists),
+            "index_queries": vector_stats[0],
+            "scalar_seconds": round(scalar_s, 4),
+            "vectorized_seconds": round(vector_s, 4),
+            "speedup": round(scalar_s / vector_s, 2) if vector_s else None,
+        }
+
+    record = {
+        "benchmark": "hotpath",
+        "graph": {
+            "family": "rmat",
+            "scale": scale,
+            "avg_degree": avg_degree,
+            "seed": seed,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "candidate_generation": {
+            "scalar_seconds": round(scalar_total, 4),
+            "vectorized_seconds": round(vector_total, 4),
+            "speedup": round(scalar_total / vector_total, 2) if vector_total else None,
+        },
+        "bloom_probe": bench_bloom_probes(index, graph, probe_keys, seed),
+        "bloom_index_bytes": index.memory_bytes(),
+        "patterns": patterns,
+    }
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--avg-degree", type=float, default=DEFAULT_DEG)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small graph, few seeds, separate output file (CI regression run)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        record = run_benchmark(
+            scale=args.scale or 10,
+            avg_degree=args.avg_degree,
+            seed=args.seed,
+            max_seeds=300,
+            max_deep=300,
+            probe_keys=20_000,
+            out_path=args.out or SMOKE_RESULTS_PATH,
+        )
+        out = args.out or SMOKE_RESULTS_PATH
+    else:
+        record = run_benchmark(
+            scale=args.scale or DEFAULT_SCALE,
+            avg_degree=args.avg_degree,
+            seed=args.seed,
+            out_path=args.out or RESULTS_PATH,
+        )
+        out = args.out or RESULTS_PATH
+
+    graph = record["graph"]
+    print(
+        f"rmat scale={graph['scale']} |V|={graph['vertices']:,} "
+        f"|E|={graph['edges']:,}"
+    )
+    for name, stats in record["patterns"].items():
+        print(
+            f"  {name}: scalar {stats['scalar_seconds']:8.3f}s  "
+            f"vectorized {stats['vectorized_seconds']:8.3f}s  "
+            f"({stats['speedup']}x over {stats['calls']} calls)"
+        )
+    cg = record["candidate_generation"]
+    bp = record["bloom_probe"]
+    print(f"candidate generation: {cg['speedup']}x")
+    print(f"bloom probes:         {bp['speedup']}x")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

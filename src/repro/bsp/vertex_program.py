@@ -141,6 +141,26 @@ class VertexProgram:
         the worker-side graph (shared-memory CSR view in the process
         backend, the driver's own object in the thread backend)."""
 
+    def export_shared(self) -> Dict[str, Any]:
+        """Read-only ``int64`` numpy arrays to ship alongside the shared
+        graph, one copy per machine rather than per replica.
+
+        The process backend appends these to the shared-memory CSR export
+        (workers re-attach zero-copy views); the thread backend passes the
+        driver's arrays through by reference.  Programs that precompute
+        per-vertex arrays the hot path needs — ranks, degree statistics —
+        return them here and re-attach in :meth:`bind_shared`.  Arrays
+        returned here should be dropped from ``__getstate__`` so replicas
+        never pickle a private copy."""
+        return {}
+
+    def bind_shared(self, graph: Graph, arrays: Dict[str, Any]) -> None:
+        """Re-attach the shared graph *and* the :meth:`export_shared`
+        arrays on the worker side.  The default ignores ``arrays`` and
+        falls back to :meth:`bind_graph` for programs that share nothing
+        beyond the graph."""
+        self.bind_graph(graph)
+
     def collect_state_delta(self) -> Any:
         """Return and *reset* the driver-relevant state this replica
         accumulated since the last collection (called once per batch).

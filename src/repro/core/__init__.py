@@ -1,7 +1,7 @@
 """PSgL core: the paper's primary contribution."""
 
 from .bloom import BloomFilter, optimal_parameters
-from .candidates import candidate_set, combination_consistent
+from .candidates import candidate_set, candidate_set_scalar, combination_consistent
 from .codec import CodecError, decode_gpsi, encode_gpsi, encoded_size
 from .cost import (
     CostParameters,
@@ -42,6 +42,7 @@ __all__ = [
     "BloomFilter",
     "optimal_parameters",
     "candidate_set",
+    "candidate_set_scalar",
     "combination_consistent",
     "CodecError",
     "decode_gpsi",

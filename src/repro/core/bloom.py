@@ -8,6 +8,15 @@ Hashing is splitmix64-based double hashing — index ``i`` probes
 ``(h1 + i * h2) mod m`` — giving platform-independent, seed-stable
 behaviour (Python's builtin ``hash`` is randomised per process, so it is
 unsuitable here).
+
+Storage is a **bit-packed** ``uint64`` word array (64 bits per word), and
+the probe math is vectorised: :meth:`BloomFilter.add_many` and
+:meth:`BloomFilter.might_contain_many` compute every probe position for a
+whole batch of keys with a handful of numpy operations instead of one
+Python-level loop iteration per (key, hash) pair.  The scalar entry
+points (:meth:`BloomFilter.add`, ``in``) evaluate the *same* position
+formula, so batched and scalar probes are bit-for-bit interchangeable —
+which is exactly what the hot-path parity tests pin down.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import numpy as np
 from ..exceptions import ReproError
 
 _MASK64 = (1 << 64) - 1
+_U64 = np.uint64
 
 
 def _splitmix64(x: int) -> int:
@@ -27,6 +37,18 @@ def _splitmix64(x: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return x ^ (x >> 31)
+
+
+def _splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 over a ``uint64`` array.
+
+    ``uint64`` arithmetic wraps modulo 2**64 exactly like the masked
+    Python-int version above, so both produce identical hashes.
+    """
+    x = x + _U64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
+    return x ^ (x >> _U64(31))
 
 
 def optimal_parameters(expected_items: int, fp_rate: float) -> tuple:
@@ -58,12 +80,15 @@ class BloomFilter:
 
     def __init__(self, expected_items: int, fp_rate: float = 0.01, seed: int = 0):
         self.num_bits, self.num_hashes = optimal_parameters(expected_items, fp_rate)
-        self._bits = np.zeros(self.num_bits, dtype=bool)
+        # One uint64 word per 64 bits — the actual footprint is what
+        # memory_bytes() reports (num_bits rounded up to a whole word).
+        self._bits = np.zeros((self.num_bits + 63) // 64, dtype=np.uint64)
         self._seed = seed
         self.count = 0
 
     # ------------------------------------------------------------------
     def _probes(self, key: int):
+        """Scalar probe positions of ``key`` (double hashing)."""
         h1 = _splitmix64((key ^ self._seed) & _MASK64)
         h2 = _splitmix64(h1) | 1  # odd stride avoids short probe cycles
         m = self.num_bits
@@ -72,24 +97,68 @@ class BloomFilter:
             yield pos
             pos = (pos + h2) % m
 
+    def _probe_positions(self, keys: np.ndarray) -> np.ndarray:
+        """Probe positions of a key batch, shape ``(len(keys), k)``.
+
+        Evaluates ``(h1 + i * h2) mod m`` as
+        ``((h1 mod m) + i * (h2 mod m)) mod m`` so the intermediate terms
+        fit uint64 without wrapping and match :meth:`_probes` exactly.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        h1 = _splitmix64_array(keys ^ _U64(self._seed & _MASK64))
+        h2 = _splitmix64_array(h1) | _U64(1)
+        m = _U64(self.num_bits)
+        strides = np.arange(self.num_hashes, dtype=np.uint64)
+        return (h1[:, None] % m + strides[None, :] * (h2[:, None] % m)) % m
+
+    # ------------------------------------------------------------------
     def add(self, key: int) -> None:
         """Insert an integer key."""
+        bits = self._bits
         for pos in self._probes(key):
-            self._bits[pos] = True
+            bits[pos >> 6] |= _U64(1 << (pos & 63))
         self.count += 1
 
+    def add_many(self, keys: np.ndarray) -> None:
+        """Insert a whole batch of integer keys at once."""
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return
+        pos = self._probe_positions(keys)
+        np.bitwise_or.at(
+            self._bits,
+            (pos >> _U64(6)).astype(np.int64),
+            _U64(1) << (pos & _U64(63)),
+        )
+        self.count += len(keys)
+
     def __contains__(self, key: int) -> bool:
-        return all(self._bits[pos] for pos in self._probes(key))
+        bits = self._bits
+        return all(
+            int(bits[pos >> 6]) >> (pos & 63) & 1 for pos in self._probes(key)
+        )
+
+    def might_contain_many(self, keys: np.ndarray) -> np.ndarray:
+        """Batched membership: one bool per key, identical to ``in``."""
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return np.zeros(0, dtype=bool)
+        pos = self._probe_positions(keys)
+        words = self._bits[(pos >> _U64(6)).astype(np.int64)]
+        hit = (words >> (pos & _U64(63))) & _U64(1)
+        return hit.all(axis=1)
 
     # ------------------------------------------------------------------
     def estimated_fp_rate(self) -> float:
         """``(fraction of set bits) ** k`` — the realised FP probability."""
-        fill = float(self._bits.mean()) if self.num_bits else 0.0
+        if not self.num_bits:
+            return 0.0
+        fill = int(np.bitwise_count(self._bits).sum()) / self.num_bits
         return fill ** self.num_hashes
 
     def memory_bytes(self) -> int:
-        """Approximate footprint of the bit array."""
-        return self.num_bits // 8 + 1
+        """Exact footprint of the packed bit array."""
+        return int(self._bits.nbytes)
 
     def __repr__(self) -> str:
         return (

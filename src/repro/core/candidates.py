@@ -17,16 +17,79 @@ reaches a WHITE neighbour ``wp``, the candidates for ``wp`` are drawn from
 Injectivity (the candidate must not equal an already mapped data vertex)
 is enforced here too: subgraph listing needs isomorphisms, not
 homomorphisms.
+
+Two implementations produce identical candidate lists *and* identical
+edge-index probe statistics:
+
+* :func:`candidate_set` — the production path.  It filters the whole
+  ``N(vd)`` slice with numpy masks (degree rule against the graph's
+  ``degrees`` array, partial-order rule against the precomputed rank
+  array, injectivity via ``isin``) and then narrows the survivors one
+  GRAY image at a time through the index's batched
+  ``might_contain_many``.  Filtering image-by-image over the shrinking
+  survivor set issues exactly the probes the scalar short-circuit loop
+  would: candidate ``c`` is probed against image ``j`` iff it passed
+  images ``0..j-1``.
+* :func:`candidate_set_scalar` — the original element-by-element loop,
+  kept as the reference the parity tests (and anyone debugging the
+  vectorised path) compare against.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from ..graph.ordered import OrderedGraph
 from ..pattern.pattern import PatternGraph
 from .edge_index import EdgeIndexBase
 from .psi import Gpsi
+
+
+def _rank_bounds(
+    gpsi: Gpsi,
+    white_vp: int,
+    pattern: PatternGraph,
+    ordered: OrderedGraph,
+) -> Tuple[int, int]:
+    """Exclusive ``(lower, upper)`` rank bounds implied by the partial
+    order against mapped vertices.  (The expanding vp itself is mapped, so
+    constraints between white_vp and vp are included automatically.)"""
+    mapping = gpsi.mapping
+    lower_rank = -1
+    upper_rank = ordered.graph.num_vertices
+    for below in pattern.must_rank_below(white_vp):
+        vd = mapping[below]
+        if vd != -1:
+            lower_rank = max(lower_rank, ordered.rank(vd))
+    for above in pattern.must_rank_above(white_vp):
+        vd = mapping[above]
+        if vd != -1:
+            upper_rank = min(upper_rank, ordered.rank(vd))
+    return lower_rank, upper_rank
+
+
+def _gray_images(
+    gpsi: Gpsi, white_vp: int, expanding_vp: int, pattern: PatternGraph
+) -> List[int]:
+    """Images of GRAY pattern neighbours of white_vp whose data edges we
+    can prefilter through the index.  BLACK neighbours cannot occur: a
+    WHITE vertex has no BLACK neighbours (expanding a vertex maps all its
+    neighbours), and the currently expanding vp is handled by drawing
+    candidates from ``N(data_vertex)`` in the first place."""
+    return [
+        gpsi.mapping[np_]
+        for np_ in pattern.neighbors(white_vp)
+        if np_ != expanding_vp and gpsi.is_gray(np_)
+    ]
+
+
+#: Below this many neighbours the per-call overhead of numpy masking
+#: exceeds the scalar loop's cost, so the hybrid dispatches down.  Both
+#: paths produce identical candidate lists and probe statistics, making
+#: the cutoff purely a performance knob.
+SCALAR_CUTOFF = 32
 
 
 def candidate_set(
@@ -44,36 +107,61 @@ def candidate_set(
     caller charges one scan unit per neighbour examined.
     """
     graph = ordered.graph
-    mapping = gpsi.mapping
-    used = set(gpsi.mapped_data_vertices())
-    pattern_degree = pattern.degree(white_vp)
+    neigh = graph.neighbors(data_vertex)
+    if len(neigh) <= SCALAR_CUTOFF:
+        # Tiny slice: the scalar loop wins on constant factors.
+        return candidate_set_scalar(
+            gpsi, white_vp, expanding_vp, data_vertex, pattern, ordered,
+            edge_index,
+        )
 
-    # Rank bounds implied by the partial order against mapped vertices.
-    # (vp itself is mapped, so constraints between white_vp and vp are
-    # included automatically.)
-    lower_rank = -1
-    upper_rank = ordered.graph.num_vertices  # exclusive bounds
-    for below in pattern.must_rank_below(white_vp):
-        vd = mapping[below]
-        if vd != -1:
-            lower_rank = max(lower_rank, ordered.rank(vd))
-    for above in pattern.must_rank_above(white_vp):
-        vd = mapping[above]
-        if vd != -1:
-            upper_rank = min(upper_rank, ordered.rank(vd))
+    lower_rank, upper_rank = _rank_bounds(gpsi, white_vp, pattern, ordered)
     if lower_rank >= upper_rank:
         return []
 
-    # GRAY pattern neighbours of white_vp whose data edges we can prefilter
-    # through the index.  BLACK neighbours cannot occur: a WHITE vertex has
-    # no BLACK neighbours (expanding a vertex maps all its neighbours), and
-    # the currently expanding vp is handled by drawing candidates from
-    # N(data_vertex) in the first place.
-    gray_images = [
-        mapping[np]
-        for np in pattern.neighbors(white_vp)
-        if np != expanding_vp and gpsi.is_gray(np)
-    ]
+    # Rules 1a/1b and injectivity as one mask over the whole N(vd) slice.
+    mask = graph.degrees[neigh] >= pattern.degree(white_vp)
+    if lower_rank >= 0 or upper_rank < graph.num_vertices:
+        ranks = ordered.ranks[neigh]
+        if lower_rank >= 0:
+            mask &= ranks > lower_rank
+        if upper_rank < graph.num_vertices:
+            mask &= ranks < upper_rank
+    for vd in gpsi.mapped_data_vertices():
+        mask &= neigh != vd
+    cands = neigh[mask]
+
+    # Rule 2: narrow the survivors one GRAY image at a time; compressing
+    # between images keeps the probe count identical to the scalar loop's
+    # per-candidate short circuit.
+    for image in _gray_images(gpsi, white_vp, expanding_vp, pattern):
+        if len(cands) == 0:
+            break
+        cands = cands[edge_index.might_contain_many(cands, image)]
+    return cands.tolist()
+
+
+def candidate_set_scalar(
+    gpsi: Gpsi,
+    white_vp: int,
+    expanding_vp: int,
+    data_vertex: int,
+    pattern: PatternGraph,
+    ordered: OrderedGraph,
+    edge_index: EdgeIndexBase,
+) -> List[int]:
+    """Reference implementation of :func:`candidate_set`, one candidate at
+    a time.  Kept for parity testing and as executable documentation of
+    Algorithm 5's per-candidate rule order."""
+    graph = ordered.graph
+    used = set(gpsi.mapped_data_vertices())
+    pattern_degree = pattern.degree(white_vp)
+
+    lower_rank, upper_rank = _rank_bounds(gpsi, white_vp, pattern, ordered)
+    if lower_rank >= upper_rank:
+        return []
+
+    gray_images = _gray_images(gpsi, white_vp, expanding_vp, pattern)
 
     result: List[int] = []
     for cand in graph.neighbors(data_vertex):

@@ -10,15 +10,23 @@ when the corresponding GRAY vertex is later expanded).
 Three interchangeable implementations support the Table 2 ablation:
 
 * :class:`BloomEdgeIndex` — the paper's index;
-* :class:`ExactEdgeIndex` — a hash set over edges (an upper bound on what
-  any such index can prune; also how the tests validate the bloom);
+* :class:`ExactEdgeIndex` — a sorted key array over edges (an upper bound
+  on what any such index can prune; also how the tests validate the
+  bloom);
 * :class:`NullEdgeIndex` — claims every edge exists, i.e. the index
   disabled ("w/o index" columns).
+
+Every implementation answers both one probe at a time
+(:meth:`~EdgeIndexBase.might_contain`) and a whole candidate batch at
+once (:meth:`~EdgeIndexBase.might_contain_many`) — the batched form is
+what the vectorised expansion hot path uses, and it must agree with the
+scalar form probe-for-probe (including the ``queries``/``positives``
+statistics, which charge one query per candidate either way).
 """
 
 from __future__ import annotations
 
-from typing import Set
+import numpy as np
 
 from ..graph.graph import Graph
 from .bloom import BloomFilter
@@ -29,6 +37,30 @@ def _edge_key(u: int, v: int, n: int) -> int:
     if u > v:
         u, v = v, u
     return u * n + v
+
+
+def _edge_keys_batch(candidates: np.ndarray, image: int, n: int) -> np.ndarray:
+    """Canonical keys of every ``(candidate, image)`` edge, as ``uint64``.
+
+    Matches :func:`_edge_key` value-for-value: keys are ``min * n + max``
+    and ``n**2`` fits 64 bits for any graph this package can hold.
+    """
+    cands = np.asarray(candidates, dtype=np.int64)
+    lo = np.minimum(cands, image).astype(np.uint64)
+    hi = np.maximum(cands, image).astype(np.uint64)
+    return lo * np.uint64(n) + hi
+
+
+def _all_edge_keys(graph: Graph) -> np.ndarray:
+    """Key of every undirected edge, one numpy pass over the CSR arrays."""
+    indptr, indices = graph.to_csr()
+    n = graph.num_vertices
+    us = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    once = us < indices  # each undirected edge once, at its (u < v) slot
+    return (
+        us[once].astype(np.uint64) * np.uint64(n)
+        + indices[once].astype(np.uint64)
+    )
 
 
 class EdgeIndexBase:
@@ -48,11 +80,29 @@ class EdgeIndexBase:
         for real implementations)."""
         raise NotImplementedError
 
+    def might_contain_many(self, candidates: np.ndarray, image: int) -> np.ndarray:
+        """Batched form: one bool per edge ``(candidate, image)``.
+
+        The fallback loops over :meth:`might_contain`; concrete indexes
+        override it with a vectorised probe that records the same
+        statistics (one query per candidate).
+        """
+        return np.fromiter(
+            (self.might_contain(int(c), image) for c in candidates),
+            dtype=bool,
+            count=len(candidates),
+        )
+
     def _record(self, answer: bool) -> bool:
         self.queries += 1
         if answer:
             self.positives += 1
         return answer
+
+    def _record_many(self, answers: np.ndarray) -> np.ndarray:
+        self.queries += len(answers)
+        self.positives += int(np.count_nonzero(answers))
+        return answers
 
     @property
     def pruned(self) -> int:
@@ -68,11 +118,14 @@ class BloomEdgeIndex(EdgeIndexBase):
         super().__init__()
         self._n = graph.num_vertices
         self._bloom = BloomFilter(max(graph.num_edges, 1), fp_rate, seed)
-        for u, v in graph.edges():
-            self._bloom.add(_edge_key(u, v, self._n))
+        self._bloom.add_many(_all_edge_keys(graph))
 
     def might_contain(self, u: int, v: int) -> bool:
         return self._record(_edge_key(u, v, self._n) in self._bloom)
+
+    def might_contain_many(self, candidates: np.ndarray, image: int) -> np.ndarray:
+        keys = _edge_keys_batch(candidates, image, self._n)
+        return self._record_many(self._bloom.might_contain_many(keys))
 
     def memory_bytes(self) -> int:
         """Index footprint (the paper notes ~2GB for Twitter's 1.2B edges)."""
@@ -84,17 +137,27 @@ class BloomEdgeIndex(EdgeIndexBase):
 
 
 class ExactEdgeIndex(EdgeIndexBase):
-    """Hash-set edge index: zero false positives, larger footprint."""
+    """Sorted-array edge index: zero false positives, larger footprint."""
 
     def __init__(self, graph: Graph):
         super().__init__()
         self._n = graph.num_vertices
-        self._edges: Set[int] = {
-            _edge_key(u, v, self._n) for u, v in graph.edges()
-        }
+        self._keys = np.sort(_all_edge_keys(graph))
+
+    def _lookup_many(self, keys: np.ndarray) -> np.ndarray:
+        k = len(self._keys)
+        if k == 0:
+            return np.zeros(len(keys), dtype=bool)
+        pos = np.searchsorted(self._keys, keys)
+        return (pos < k) & (self._keys[np.minimum(pos, k - 1)] == keys)
 
     def might_contain(self, u: int, v: int) -> bool:
-        return self._record(_edge_key(u, v, self._n) in self._edges)
+        key = np.uint64(_edge_key(u, v, self._n))
+        return self._record(bool(self._lookup_many(np.array([key]))[0]))
+
+    def might_contain_many(self, candidates: np.ndarray, image: int) -> np.ndarray:
+        keys = _edge_keys_batch(candidates, image, self._n)
+        return self._record_many(self._lookup_many(keys))
 
 
 class NullEdgeIndex(EdgeIndexBase):
@@ -103,6 +166,9 @@ class NullEdgeIndex(EdgeIndexBase):
 
     def might_contain(self, u: int, v: int) -> bool:
         return self._record(True)
+
+    def might_contain_many(self, candidates: np.ndarray, image: int) -> np.ndarray:
+        return self._record_many(np.ones(len(candidates), dtype=bool))
 
 
 def build_edge_index(graph: Graph, kind: str = "bloom", fp_rate: float = 0.01, seed: int = 0) -> EdgeIndexBase:

@@ -27,7 +27,7 @@ from typing import List, Tuple
 
 from ..graph.ordered import OrderedGraph
 from ..pattern.pattern import PatternGraph
-from .candidates import candidate_set, combination_consistent
+from .candidates import candidate_set, candidate_set_scalar, combination_consistent
 from .cost import CostParameters, DEFAULT_COSTS
 from .edge_index import EdgeIndexBase
 from .psi import Gpsi
@@ -59,8 +59,16 @@ def expand_gpsi(
     ordered: OrderedGraph,
     edge_index: EdgeIndexBase,
     costs: CostParameters = DEFAULT_COSTS,
+    use_scalar_candidates: bool = False,
 ) -> ExpansionOutcome:
-    """Run Algorithm 1 on one Gpsi; the caller routes the outcome."""
+    """Run Algorithm 1 on one Gpsi; the caller routes the outcome.
+
+    ``use_scalar_candidates`` swaps the vectorised Algorithm 5 for the
+    scalar reference implementation; results, costs and index statistics
+    are identical either way (the hot-path parity tests pin this), so the
+    flag exists purely for cross-checking and micro-benchmarking.
+    """
+    candidates_fn = candidate_set_scalar if use_scalar_candidates else candidate_set
     outcome = ExpansionOutcome()
     vp = gpsi.next_vertex
     vd = gpsi.mapping[vp]
@@ -80,7 +88,7 @@ def expand_gpsi(
             # WHITE: build the candidate set, paying one scan unit per
             # neighbour of vd examined.
             outcome.cost += costs.scan * graph.degree(vd)
-            cands = candidate_set(
+            cands = candidates_fn(
                 gpsi, np_, vp, vd, pattern, ordered, edge_index
             )
             if not cands:

@@ -144,21 +144,36 @@ class PSgLProgram(VertexProgram):
     # cross back as per-superstep deltas merged in worker-id order.
     # ------------------------------------------------------------------
     def __getstate__(self):
+        # Ship neither the O(n + m) graph nor the O(n) order arrays:
+        # replicas re-attach both through bind_shared — the process
+        # backend exports the arrays once into shared memory next to the
+        # CSR blocks, the thread backend passes the driver's arrays by
+        # reference.
         state = self.__dict__.copy()
-        ordered: OrderedGraph = state.pop("ordered")
-        # Ship the O(n) order arrays, not the O(n + m) graph: bind_graph
-        # reattaches the zero-copy shared adjacency on the other side.
-        state["_ordered_arrays"] = (
-            ordered.ranks,
-            ordered.nb_values,
-            ordered.ns_values,
-        )
+        state.pop("ordered")
         return state
 
+    def export_shared(self):
+        ordered = self.ordered
+        return {
+            "order_rank": ordered.ranks,
+            "order_nb": ordered.nb_values,
+            "order_ns": ordered.ns_values,
+        }
+
+    def bind_shared(self, graph: Graph, arrays) -> None:
+        self.ordered = OrderedGraph.from_precomputed(
+            graph,
+            arrays["order_rank"],
+            arrays["order_nb"],
+            arrays["order_ns"],
+        )
+
     def bind_graph(self, graph: Graph) -> None:
-        arrays = self.__dict__.pop("_ordered_arrays", None)
-        if arrays is not None:
-            self.ordered = OrderedGraph.from_precomputed(graph, *arrays)
+        # Fallback for callers outside the runtime's bind_shared protocol:
+        # recompute the (deterministic) order arrays from the graph.
+        if self.__dict__.get("ordered") is None:
+            self.ordered = OrderedGraph(graph)
         else:
             self.ordered.graph = graph
 

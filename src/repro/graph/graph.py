@@ -13,6 +13,7 @@ Adjacency is stored as one sorted ``numpy`` array per vertex, which gives
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -40,7 +41,7 @@ class Graph:
         reciprocal edge and eliminating loops").
     """
 
-    __slots__ = ("_n", "_adj", "_degrees", "_m")
+    __slots__ = ("_n", "_adj", "_degrees", "_m", "_hash")
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge]):
         if num_vertices < 0:
@@ -62,6 +63,7 @@ class Graph:
         ]
         self._degrees = np.array([len(a) for a in self._adj], dtype=np.int64)
         self._m = int(self._degrees.sum()) // 2
+        self._hash = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -147,6 +149,7 @@ class Graph:
         graph._adj = [indices[indptr[v]:indptr[v + 1]] for v in range(n)]
         graph._degrees = np.asarray(np.diff(indptr), dtype=np.int64)
         graph._m = int(graph._degrees.sum()) // 2
+        graph._hash = None
         return graph
 
     # ------------------------------------------------------------------
@@ -165,16 +168,28 @@ class Graph:
         """Induced subgraph on ``keep``, *relabelled* to ``0..k-1``.
 
         Returns the subgraph; the mapping from new ids to original ids is
-        the sorted order of ``keep``.
+        the sorted order of ``keep``.  Only the kept vertices' adjacency
+        slices are scanned — ``O(sum of kept degrees)``, not ``O(m)`` —
+        so carving a small neighbourhood out of a large graph is cheap.
+        Ids in ``keep`` outside the graph become isolated vertices, as
+        before.
         """
         keep_sorted = sorted(set(keep))
-        index = {v: i for i, v in enumerate(keep_sorted)}
-        sub_edges = [
-            (index[u], index[v])
-            for u, v in self.edges()
-            if u in index and v in index
-        ]
-        return Graph(len(keep_sorted), sub_edges)
+        keep_arr = np.asarray(keep_sorted, dtype=np.int64)
+        k = len(keep_arr)
+        sub_edges: List[Edge] = []
+        for new_u, u in enumerate(keep_sorted):
+            if not 0 <= u < self._n:
+                continue  # isolated in the subgraph
+            adj = self._adj[u]
+            # Edges to higher original ids only: each edge counted once,
+            # and the relabelling is monotone so (new_u, new_v) stays
+            # canonical.
+            higher = adj[np.searchsorted(adj, u, side="right"):]
+            pos = np.searchsorted(keep_arr, higher)
+            kept = (pos < k) & (keep_arr[np.minimum(pos, k - 1)] == higher)
+            sub_edges.extend((new_u, int(new_v)) for new_v in pos[kept])
+        return Graph(k, sub_edges)
 
     def max_degree(self) -> int:
         """Largest degree in the graph (0 for an empty graph)."""
@@ -212,8 +227,17 @@ class Graph:
             np.array_equal(a, b) for a, b in zip(self._adj, other._adj)
         )
 
-    def __hash__(self):  # Graphs are mutable-free but not cheap to hash.
-        return id(self)
+    def __hash__(self):
+        # Structural, consistent with __eq__: equal graphs hash equal.
+        # Computed once over the CSR bytes and cached (graphs are
+        # immutable), so only the first hash of a graph costs O(m).
+        if self._hash is None:
+            indptr, indices = self.to_csr()
+            digest = hashlib.blake2b(digest_size=8)
+            digest.update(indptr.tobytes())
+            digest.update(indices.tobytes())
+            self._hash = hash((self._n, self._m, digest.digest()))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Graph(|V|={self._n}, |E|={self._m})"

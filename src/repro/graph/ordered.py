@@ -44,15 +44,15 @@ class OrderedGraph:
         rank = np.empty(n, dtype=np.int64)
         rank[order] = np.arange(n)
         self._rank = rank
-        nb = np.zeros(n, dtype=np.int64)
-        ns = np.zeros(n, dtype=np.int64)
-        for v in range(n):
-            rv = rank[v]
-            below = int(np.count_nonzero(rank[graph.neighbors(v)] < rv))
-            nb[v] = below
-            ns[v] = graph.degree(v) - below
-        self._nb = nb
-        self._ns = ns
+        # nb/ns in one vectorised pass over the CSR arrays: flag every
+        # adjacency slot whose target ranks below its source, then reduce
+        # per-vertex via a prefix sum over the slice boundaries.
+        indptr, indices = graph.to_csr()
+        below = rank[indices] < np.repeat(rank, degrees)
+        sums = np.concatenate(([0], np.cumsum(below, dtype=np.int64)))
+        nb = sums[indptr[1:]] - sums[indptr[:-1]]
+        self._nb = np.asarray(nb, dtype=np.int64)
+        self._ns = np.asarray(degrees - nb, dtype=np.int64)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -63,7 +63,7 @@ def _init_child(
     global _child_graph, _child_program, _child_partition, _child_num_workers
     _child_graph = attach_shared_graph(handle)
     _child_program = pickle.loads(program_bytes)
-    _child_program.bind_graph(_child_graph.graph)
+    _child_program.bind_shared(_child_graph.graph, _child_graph.aux)
     _child_partition = partition
     _child_num_workers = num_workers
 
@@ -120,7 +120,12 @@ class ProcessExecutor(SuperstepExecutor):
 
     def start(self, spec: JobSpec) -> None:
         self._spec = spec
-        self._export = SharedGraphExport(spec.graph)
+        # The program's precomputed per-vertex arrays (ranks, degree
+        # statistics) ride along the CSR blocks: one copy per machine,
+        # re-attached zero-copy by every pool process.
+        self._export = SharedGraphExport(
+            spec.graph, aux=spec.program.export_shared()
+        )
         program_bytes = pickle.dumps(spec.program)
         method = self._start_method
         if method is None:

@@ -15,16 +15,21 @@ Layout
 ------
 Block ``<name>`` holds ``indptr``: ``(n + 1)`` little-endian ``int64``;
 block ``<name>`` holds ``indices``: ``m2`` ``int64`` (``m2 = 2|E|``), the
-concatenated sorted neighbour lists.  A :class:`SharedGraphHandle` carries
-the two block names plus both lengths, and is what crosses the process
-boundary (a few dozen bytes).
+concatenated sorted neighbour lists.  An optional third block carries the
+program's *auxiliary* per-vertex arrays (``VertexProgram.export_shared``)
+— e.g. the degree-order rank/nb/ns arrays the vectorised expansion hot
+path reads — concatenated as ``int64`` in ``aux_specs`` order, so workers
+probe the same precomputed arrays the driver built instead of pickling a
+private copy each.  A :class:`SharedGraphHandle` carries the block names
+plus the lengths, and is what crosses the process boundary (a few dozen
+bytes).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +44,9 @@ class SharedGraphHandle:
     indices_name: str
     num_vertices: int
     num_indices: int
+    aux_name: Optional[str] = None
+    #: (array name, length) per auxiliary int64 array, in layout order.
+    aux_specs: Tuple[Tuple[str, int], ...] = field(default=())
 
 
 class SharedGraphExport:
@@ -49,7 +57,7 @@ class SharedGraphExport:
     job finishes.  The export owns the blocks: workers only attach.
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph, aux: Optional[Dict[str, np.ndarray]] = None):
         indptr, indices = graph.to_csr()
         self._shm_indptr = shared_memory.SharedMemory(
             create=True, size=max(indptr.nbytes, 1)
@@ -64,24 +72,51 @@ class SharedGraphExport:
             np.ndarray(
                 indices.shape, dtype=np.int64, buffer=self._shm_indices.buf
             )[:] = indices
+        self._shm_aux: Optional[shared_memory.SharedMemory] = None
+        aux_name = None
+        aux_specs: Tuple[Tuple[str, int], ...] = ()
+        if aux:
+            arrays = {
+                name: np.ascontiguousarray(arr, dtype=np.int64)
+                for name, arr in aux.items()
+            }
+            total = sum(len(arr) for arr in arrays.values())
+            self._shm_aux = shared_memory.SharedMemory(
+                create=True, size=max(total * 8, 1)
+            )
+            flat = np.ndarray((total,), dtype=np.int64, buffer=self._shm_aux.buf)
+            offset = 0
+            for name, arr in arrays.items():
+                flat[offset:offset + len(arr)] = arr
+                offset += len(arr)
+            aux_name = self._shm_aux.name
+            aux_specs = tuple((name, len(arr)) for name, arr in arrays.items())
         self.handle = SharedGraphHandle(
             indptr_name=self._shm_indptr.name,
             indices_name=self._shm_indices.name,
             num_vertices=graph.num_vertices,
             num_indices=len(indices),
+            aux_name=aux_name,
+            aux_specs=aux_specs,
         )
         self._closed = False
 
     def nbytes(self) -> int:
         """Total shared bytes (the one copy all workers scan)."""
-        return self._shm_indptr.size + self._shm_indices.size
+        total = self._shm_indptr.size + self._shm_indices.size
+        if self._shm_aux is not None:
+            total += self._shm_aux.size
+        return total
 
     def close(self) -> None:
-        """Release and unlink both blocks (idempotent)."""
+        """Release and unlink all blocks (idempotent)."""
         if self._closed:
             return
         self._closed = True
-        for shm in (self._shm_indptr, self._shm_indices):
+        blocks = [self._shm_indptr, self._shm_indices]
+        if self._shm_aux is not None:
+            blocks.append(self._shm_aux)
+        for shm in blocks:
             try:
                 shm.close()
                 shm.unlink()
@@ -116,12 +151,23 @@ class AttachedSharedGraph:
             (handle.num_indices,), dtype=np.int64, buffer=shm_indices.buf
         )
         self.graph = Graph.from_csr(indptr, indices)
+        self.aux: Dict[str, np.ndarray] = {}
+        if handle.aux_name is not None:
+            shm_aux = _attach_untracked(handle.aux_name)
+            self._blocks.append(shm_aux)
+            total = sum(length for _, length in handle.aux_specs)
+            flat = np.ndarray((total,), dtype=np.int64, buffer=shm_aux.buf)
+            offset = 0
+            for name, length in handle.aux_specs:
+                self.aux[name] = flat[offset:offset + length]
+                offset += length
 
     def close(self) -> None:
         """Drop this process's mapping (the export owns the lifetime)."""
         # The Graph's adjacency views alias the buffers; drop them first so
         # closing the mapping cannot invalidate live arrays.
         self.graph = None
+        self.aux = {}
         for shm in self._blocks:
             try:
                 shm.close()

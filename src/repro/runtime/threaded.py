@@ -50,10 +50,13 @@ class ThreadExecutor(SuperstepExecutor):
         # program's __getstate__, then rebinds the *shared* graph object —
         # replicas own their mutable state but alias one adjacency.
         payload = pickle.dumps(spec.program)
+        shared_arrays = spec.program.export_shared()
         self._replicas = []
         for _ in range(spec.num_workers):
             replica = pickle.loads(payload)
-            replica.bind_graph(spec.graph)
+            # Threads share one address space: the driver's own arrays
+            # pass through by reference, no copy per replica.
+            replica.bind_shared(spec.graph, shared_arrays)
             self._replicas.append(replica)
         self._states = [{} for _ in range(spec.num_workers)]
         workers = self._procs or min(spec.num_workers, 4)

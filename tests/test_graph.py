@@ -103,6 +103,47 @@ class TestSubgraphAndTriangles:
         sub = g.subgraph([0, 1, 3])
         assert sub.num_edges == 1
 
+    def test_subgraph_matches_naive_filter(self):
+        # The sliced implementation must behave exactly like filtering the
+        # full edge list: for random graphs and random keep sets, every
+        # kept edge appears (relabelled) and nothing else does.
+        rng = np.random.default_rng(17)
+        for _ in range(10):
+            n = int(rng.integers(5, 40))
+            m = int(rng.integers(0, n * 3))
+            edges = [
+                (int(rng.integers(0, n)), int(rng.integers(0, n)))
+                for _ in range(m)
+            ]
+            g = Graph(n, [e for e in edges if e[0] != e[1]])
+            keep = sorted(
+                set(int(v) for v in rng.integers(0, n, size=n // 2 + 1))
+            )
+            relabel = {v: i for i, v in enumerate(keep)}
+            expected = sorted(
+                (relabel[u], relabel[v])
+                for u, v in g.edges()
+                if u in relabel and v in relabel
+            )
+            sub = g.subgraph(keep)
+            assert sub.num_vertices == len(keep)
+            assert sorted(sub.edges()) == expected
+
+    def test_subgraph_out_of_range_ids_isolated(self):
+        # Historical behaviour: keep ids outside [0, n) occupy a slot in
+        # the relabelled graph but contribute no edges.
+        g = Graph(3, [(0, 1), (1, 2)])
+        sub = g.subgraph([0, 1, 99])
+        assert sub.num_vertices == 3
+        assert sorted(sub.edges()) == [(0, 1)]
+        assert sub.degree(2) == 0
+
+    def test_subgraph_empty_keep(self):
+        g = complete_graph(4)
+        sub = g.subgraph([])
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
     def test_triangles_at(self):
         g = complete_graph(4)
         # every vertex of K4 is in C(3,2) = 3 triangles
@@ -127,6 +168,27 @@ class TestEquality:
 
     def test_eq_other_type(self):
         assert Graph(1, []).__eq__(42) is NotImplemented
+
+    def test_equal_graphs_hash_equal(self):
+        # Regression: __hash__ used to be id(self), so two equal graphs
+        # hashed differently — a contract violation that breaks dict/set
+        # membership for structurally identical graphs.
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_unequal_graphs_usually_hash_differently(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 2)])
+        assert hash(a) != hash(b)  # structural hash, not size-only
+
+    def test_hash_stable_across_csr_round_trip(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        indptr, indices = g.to_csr()
+        h = Graph.from_csr(indptr.copy(), indices.copy())
+        assert hash(g) == hash(h)
 
     def test_repr(self):
         assert repr(Graph(3, [(0, 1)])) == "Graph(|V|=3, |E|=1)"

@@ -1,0 +1,212 @@
+"""Parity tests for the vectorised expansion hot path.
+
+The production ``candidate_set`` filters ``N(vd)`` with numpy masks and
+batched edge-index probes; ``candidate_set_scalar`` is the retained
+element-by-element reference.  These tests pin the contract the
+optimisation relies on: identical candidate lists, identical edge-index
+probe statistics (the cost ledger is derived from them), and bit-for-bit
+agreement between the packed bloom filter's scalar and batched entry
+points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Gpsi, candidate_set, candidate_set_scalar, expand_gpsi
+from repro.core.bloom import BloomFilter
+from repro.core.candidates import SCALAR_CUTOFF
+from repro.core.edge_index import (
+    BloomEdgeIndex,
+    ExactEdgeIndex,
+    NullEdgeIndex,
+    build_edge_index,
+)
+from repro.core.init_vertex import select_initial_vertex
+from repro.graph import OrderedGraph
+from repro.graph.generators import erdos_renyi
+from repro.pattern import paper_patterns
+from repro.pattern.automorphism import automorphisms, break_automorphisms
+
+# Dense enough that hub adjacency slices exceed SCALAR_CUTOFF, so the
+# vectorised path (not just the hybrid's scalar fallback) is exercised.
+GRAPH = erdos_renyi(220, 0.25, seed=7)
+
+
+def catalog():
+    for name, pattern in sorted(paper_patterns().items()):
+        if not pattern.partial_order and len(automorphisms(pattern)) > 1:
+            pattern = break_automorphisms(pattern)
+        yield name, pattern
+
+
+def candidate_calls(pattern, ordered, index, max_seeds=40):
+    """Real ``candidate_set`` call tuples: first-round Gpsis plus
+    second-round ones whose GRAY neighbours engage the edge index."""
+    graph = ordered.graph
+    init_vp = select_initial_vertex(pattern, graph)
+    eligible = np.flatnonzero(graph.degrees >= pattern.degree(init_vp))
+    frontier = [
+        Gpsi.initial(pattern, init_vp, int(vd)) for vd in eligible[:max_seeds]
+    ]
+    deep = []
+    for gpsi in frontier[:10]:
+        outcome = expand_gpsi(gpsi, pattern, ordered, index)
+        for child in outcome.pending[:3]:
+            grays = child.useful_grays(pattern)
+            if grays:
+                deep.append(child.with_next(grays[0]))
+    calls = []
+    for gpsi in frontier + deep:
+        vp = gpsi.next_vertex
+        vd = gpsi.mapping[vp]
+        for np_ in pattern.neighbors(vp):
+            if not gpsi.is_black(np_) and not gpsi.is_gray(np_):
+                calls.append((gpsi, np_, vp, vd))
+    return calls
+
+
+class TestCandidateSetParity:
+    @pytest.mark.parametrize("kind", ["bloom", "exact", "none"])
+    @pytest.mark.parametrize("name", [n for n, _ in catalog()])
+    def test_lists_and_probe_stats_match(self, name, kind):
+        pattern = dict(catalog())[name]
+        ordered = OrderedGraph(GRAPH)
+        index = build_edge_index(GRAPH, kind=kind, seed=3)
+        calls = candidate_calls(pattern, ordered, index)
+        assert calls, "workload construction produced no calls"
+        # The workload must actually reach the vectorised branch.
+        assert any(
+            GRAPH.degree(vd) > SCALAR_CUTOFF for _, _, _, vd in calls
+        )
+
+        index.reset_statistics()
+        scalar = [
+            candidate_set_scalar(g, w, v, d, pattern, ordered, index)
+            for g, w, v, d in calls
+        ]
+        scalar_stats = (index.queries, index.positives)
+
+        index.reset_statistics()
+        vector = [
+            candidate_set(g, w, v, d, pattern, ordered, index)
+            for g, w, v, d in calls
+        ]
+        vector_stats = (index.queries, index.positives)
+
+        assert scalar == vector
+        assert scalar_stats == vector_stats
+
+    @pytest.mark.parametrize("name", [n for n, _ in catalog()])
+    def test_expansion_outcomes_match(self, name):
+        pattern = dict(catalog())[name]
+        ordered = OrderedGraph(GRAPH)
+        index = BloomEdgeIndex(GRAPH, seed=3)
+        init_vp = select_initial_vertex(pattern, GRAPH)
+        eligible = np.flatnonzero(GRAPH.degrees >= pattern.degree(init_vp))
+        for vd in eligible[:15]:
+            gpsi = Gpsi.initial(pattern, init_vp, int(vd))
+
+            index.reset_statistics()
+            vec = expand_gpsi(gpsi, pattern, ordered, index)
+            vec_stats = (index.queries, index.positives)
+
+            index.reset_statistics()
+            ref = expand_gpsi(
+                gpsi, pattern, ordered, index, use_scalar_candidates=True
+            )
+            ref_stats = (index.queries, index.positives)
+
+            assert vec.complete == ref.complete
+            assert vec.pending == ref.pending
+            assert vec.cost == ref.cost
+            assert vec.generated == ref.generated
+            assert vec_stats == ref_stats
+
+
+class TestEdgeIndexBatchedProbes:
+    @pytest.mark.parametrize("kind", ["bloom", "exact", "none"])
+    def test_might_contain_many_matches_scalar(self, kind):
+        index = build_edge_index(GRAPH, kind=kind, seed=5)
+        rng = np.random.default_rng(11)
+        for image in rng.integers(0, GRAPH.num_vertices, size=8):
+            candidates = rng.integers(
+                0, GRAPH.num_vertices, size=50, dtype=np.int64
+            )
+            index.reset_statistics()
+            scalar = [
+                index.might_contain(int(c), int(image)) for c in candidates
+            ]
+            scalar_stats = (index.queries, index.positives)
+            index.reset_statistics()
+            batched = index.might_contain_many(candidates, int(image))
+            assert batched.tolist() == scalar
+            assert (index.queries, index.positives) == scalar_stats
+
+    def test_empty_batch(self):
+        index = ExactEdgeIndex(GRAPH)
+        out = index.might_contain_many(np.zeros(0, dtype=np.int64), 0)
+        assert out.dtype == bool and len(out) == 0
+        assert index.queries == 0
+
+    def test_base_fallback_agrees(self):
+        # The base-class might_contain_many loops over might_contain; any
+        # subclass that only implements the scalar probe still answers
+        # batched queries correctly.
+        from repro.core.edge_index import EdgeIndexBase
+
+        index = NullEdgeIndex()
+        base_out = EdgeIndexBase.might_contain_many(
+            index, np.array([1, 2, 3]), 0
+        )
+        assert base_out.tolist() == [True, True, True]
+
+
+class TestPackedBloomParity:
+    def test_add_many_matches_scalar_add(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 2**40, size=400, dtype=np.uint64)
+        a = BloomFilter(400, fp_rate=0.02, seed=9)
+        b = BloomFilter(400, fp_rate=0.02, seed=9)
+        for k in keys:
+            a.add(int(k))
+        b.add_many(keys)
+        assert np.array_equal(a._bits, b._bits)
+        assert a.count == b.count
+
+    def test_batched_probe_matches_contains(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 2**40, size=300, dtype=np.uint64)
+        bloom = BloomFilter(300, fp_rate=0.01, seed=4)
+        bloom.add_many(keys[:150])
+        probes = np.concatenate(
+            [keys, rng.integers(0, 2**40, size=300, dtype=np.uint64)]
+        )
+        batched = bloom.might_contain_many(probes)
+        scalar = [int(k) in bloom for k in probes]
+        assert batched.tolist() == scalar
+        # No false negatives on the inserted half.
+        assert batched[:150].all()
+
+    def test_no_false_negatives_after_batch_insert(self):
+        keys = np.arange(1000, dtype=np.uint64) * np.uint64(2654435761)
+        bloom = BloomFilter(1000, fp_rate=0.01, seed=0)
+        bloom.add_many(keys)
+        assert bloom.might_contain_many(keys).all()
+
+
+class TestBloomMemoryReporting:
+    def test_memory_bytes_equals_allocation(self):
+        """Regression: memory_bytes() must report the packed bit array's
+        actual footprint, not a per-bit byte count (the old bug reported
+        ~8x the allocation)."""
+        for items, fp in [(100, 0.01), (5000, 0.001), (1, 0.5)]:
+            bloom = BloomFilter(items, fp_rate=fp)
+            assert bloom.memory_bytes() == bloom._bits.nbytes
+            # Packed: one byte per 8 bits, rounded up to a uint64 word.
+            assert bloom.memory_bytes() == ((bloom.num_bits + 63) // 64) * 8
+            if bloom.num_bits >= 64:
+                assert bloom.memory_bytes() < bloom.num_bits  # packed
+
+    def test_index_reports_filter_footprint(self):
+        index = BloomEdgeIndex(GRAPH)
+        assert index.memory_bytes() == index._bloom._bits.nbytes
