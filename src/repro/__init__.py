@@ -16,6 +16,8 @@ Package layout
 * :mod:`repro.bsp` — the Pregel/Giraph-style BSP engine;
 * :mod:`repro.runtime` — pluggable execution backends (serial, thread,
   process with a shared-memory graph) behind ``backend=...``;
+* :mod:`repro.obs` — per-superstep tracing and metrics (``trace=...``),
+  JSONL/Chrome-trace exporters and the straggler report;
 * :mod:`repro.core` — the PSgL framework itself (Gpsi expansion,
   distribution strategies, cost model, edge index, driver);
 * :mod:`repro.baselines` — centralized oracle, MapReduce engine plus the
@@ -60,6 +62,12 @@ from .pattern import (
     pattern_from_edges,
     square,
     triangle,
+)
+from .obs import (
+    Tracer,
+    straggler_report,
+    write_chrome_trace,
+    write_jsonl,
 )
 from .runtime import (
     available_backends,
@@ -106,5 +114,9 @@ __all__ = [
     "available_backends",
     "make_executor",
     "register_backend",
+    "Tracer",
+    "straggler_report",
+    "write_chrome_trace",
+    "write_jsonl",
     "__version__",
 ]

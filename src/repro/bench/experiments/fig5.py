@@ -20,14 +20,29 @@ from ..tables import format_table
 STRATEGIES = ["random", "roulette", "WA,0.5", "WA,1", "WA,0"]
 
 
-def run(scale: float = 1.0, num_workers: int = 16, seed: int = 7) -> ExperimentReport:
-    """Per-worker cost vectors for each strategy, PG2 on wikitalk."""
+def run(
+    scale: float = 1.0,
+    num_workers: int = 16,
+    seed: int = 7,
+    trace=None,
+) -> ExperimentReport:
+    """Per-worker cost vectors for each strategy, PG2 on wikitalk.
+
+    ``trace`` accepts a :class:`repro.obs.Tracer`: all five strategy runs
+    record into it back to back, so the exported timeline puts the per-
+    strategy worker-load profiles side by side (the Figure 5 comparison,
+    but per superstep).
+    """
     graph = load_dataset("wikitalk", scale)
     pattern = square()
     per_worker: Dict[str, List[float]] = {}
     for strategy in STRATEGIES:
         result = PSgL(
-            graph, num_workers=num_workers, strategy=strategy, seed=seed
+            graph,
+            num_workers=num_workers,
+            strategy=strategy,
+            seed=seed,
+            trace=trace,
         ).run(pattern)
         per_worker[strategy] = result.worker_costs
     rows = []

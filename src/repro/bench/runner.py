@@ -86,10 +86,16 @@ def run_all(
     progress: Optional[Callable[[str], None]] = print,
     backend: Optional[str] = None,
     procs: Optional[int] = None,
+    trace_dir: Optional[Path] = None,
 ) -> List[ExperimentReport]:
     """Run every (or the selected) experiment, optionally persisting the
     rendered text under ``out_dir``.  ``backend``/``procs`` forward to
-    experiments whose ``run`` supports them."""
+    experiments whose ``run`` supports them; with ``trace_dir`` set, each
+    experiment that accepts a ``trace`` kwarg records its runs into a
+    tracer and a Chrome trace file lands at ``<trace_dir>/<id>_trace.json``.
+    """
+    from ..obs import Tracer, write_chrome_trace
+
     chosen = list(experiments) if experiments else list(EXPERIMENT_IDS)
     runtime_kwargs = {}
     if backend is not None:
@@ -100,11 +106,23 @@ def run_all(
     for experiment in chosen:
         if progress:
             progress(f"running {experiment} (scale={scale}) ...")
-        report = run_experiment(experiment, scale=scale, **runtime_kwargs)
+        kwargs = dict(runtime_kwargs)
+        tracer = None
+        if trace_dir is not None:
+            tracer = Tracer()
+            kwargs["trace"] = tracer
+        report = run_experiment(experiment, scale=scale, **kwargs)
         reports.append(report)
         if progress:
             progress(report.render())
         if out_dir is not None:
             out_dir.mkdir(parents=True, exist_ok=True)
             (out_dir / f"{experiment}.txt").write_text(report.render())
+        if tracer is not None and tracer.events:
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            trace_path = write_chrome_trace(
+                tracer, trace_dir / f"{experiment}_trace.json"
+            )
+            if progress:
+                progress(f"trace written to {trace_path}")
     return reports

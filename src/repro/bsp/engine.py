@@ -29,6 +29,7 @@ from typing import Any, List, Optional, Union
 from ..exceptions import EngineError
 from ..graph.graph import Graph
 from ..graph.partition import Partition
+from ..obs.tracer import make_tracer
 from .aggregate import AggregatorRegistry
 from .message import MessageStore
 from .metrics import CostLedger
@@ -44,6 +45,8 @@ class BSPResult:
     ledger: CostLedger
     wall_seconds: float
     aggregated: Optional[dict] = None
+    #: The tracer that observed the run (None when tracing was off).
+    trace: Optional[Any] = None
 
     @property
     def makespan(self) -> float:
@@ -82,6 +85,11 @@ class BSPEngine:
     procs:
         OS-level parallelism for parallel backends (defaults to
         ``min(num_workers, cpu_count)``); ignored by ``serial``.
+    trace:
+        Observability: ``None``/``False`` (default, zero overhead), a
+        :class:`repro.obs.Tracer` to record per-superstep events into,
+        or ``True`` to create a fresh tracer (returned on
+        :attr:`BSPResult.trace`).  See ``docs/observability.md``.
     """
 
     def __init__(
@@ -93,6 +101,7 @@ class BSPEngine:
         max_supersteps: int = 1000,
         backend: Union[str, Any] = "serial",
         procs: Optional[int] = None,
+        trace: Any = None,
     ):
         if partition.num_vertices != graph.num_vertices:
             raise EngineError(
@@ -106,6 +115,7 @@ class BSPEngine:
         self.max_supersteps = max_supersteps
         self.backend = backend
         self.procs = procs
+        self.trace = trace
         self.workers = [
             Worker(w, partition.vertices_of(w))
             for w in range(partition.num_workers)
@@ -142,6 +152,14 @@ class BSPEngine:
             initial = list(self.graph.vertices())
 
         executor = make_executor(self.backend, procs=self.procs)
+        tracer = make_tracer(self.trace)
+        if tracer.enabled:
+            tracer.meta.update(
+                backend=executor.name,
+                num_workers=self.num_workers,
+                graph_vertices=self.graph.num_vertices,
+                graph_edges=self.graph.num_edges,
+            )
         executor.start(
             JobSpec(
                 program=program,
@@ -149,12 +167,14 @@ class BSPEngine:
                 partition=self.partition,
                 num_workers=self.num_workers,
                 worker_states=[worker.state for worker in self.workers],
+                tracer=tracer,
             )
         )
         merge_program_state = not executor.inprocess
 
         superstep = 0
         active: List[int] = list(initial)
+        status = "completed"
         try:
             while True:
                 if superstep >= self.max_supersteps:
@@ -167,7 +187,13 @@ class BSPEngine:
                 inbound_per_worker = [0] * self.num_workers
 
                 batches = self._build_batches(active, inbox)
+                step_started = perf_counter() if tracer.enabled else 0.0
                 results = executor.run_superstep(superstep, batches, registry)
+                step_wall_ms = (
+                    (perf_counter() - step_started) * 1000.0
+                    if tracer.enabled
+                    else 0.0
+                )
                 # Barrier: shuffle messages and fold per-worker effects in
                 # worker-id order (= the serial engine's interleaving).
                 for result in results:
@@ -185,6 +211,34 @@ class BSPEngine:
                                 registry.aggregate(name, value)
                         program.merge_state_delta(result.state_delta)
 
+                if tracer.enabled:
+                    # Emitted before the budget check so an OOM-aborted
+                    # run still records its fatal superstep and barrier.
+                    for result in results:
+                        tracer.emit(
+                            "worker",
+                            superstep=superstep,
+                            worker=result.worker_id,
+                            cost=result.cost,
+                            messages=result.messages_sent,
+                            compute_calls=result.compute_calls,
+                            outputs=len(result.outputs),
+                        )
+                    tracer.emit(
+                        "barrier",
+                        superstep=superstep,
+                        live_messages=len(outbox),
+                        max_worker_live=max(inbound_per_worker),
+                        queue_depths=list(inbound_per_worker),
+                    )
+                    tracer.emit(
+                        "superstep",
+                        superstep=superstep,
+                        wall_ms=step_wall_ms,
+                        active_vertices=len(active),
+                        batches=sum(1 for batch in batches if batch),
+                    )
+
                 registry.end_superstep()
                 ledger.total_emitted = len(outputs)
                 ledger.end_superstep(
@@ -196,19 +250,29 @@ class BSPEngine:
                 inbox = outbox
                 active = inbox.destinations()
                 superstep += 1
-        except Exception:
+        except Exception as exc:
             # Teardown runs on every exit path — simulated OOM, the
             # max_supersteps guard, or a fault inside compute.
+            status = type(exc).__name__
             program.post_application()
             raise
         finally:
             executor.close()
+            if tracer.enabled:
+                tracer.emit(
+                    "job",
+                    wall_ms=(perf_counter() - started) * 1000.0,
+                    status=status,
+                    supersteps=ledger.num_supersteps,
+                    outputs=len(outputs),
+                )
         program.post_application()
         return BSPResult(
             outputs=outputs,
             ledger=ledger,
             wall_seconds=perf_counter() - started,
             aggregated=registry.finals(),
+            trace=tracer if tracer.enabled else None,
         )
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..exceptions import SimulatedOOMError
+from ..exceptions import EngineError, SimulatedOOMError
 
 
 @dataclass
@@ -81,8 +81,26 @@ class CostLedger:
         self._current: Optional[SuperstepStats] = None
 
     # ------------------------------------------------------------------
+    def _require_open(self) -> SuperstepStats:
+        """The in-progress superstep row, or a real error.
+
+        This used to be a bare ``assert``, which vanishes under
+        ``python -O`` and let mis-sequenced callers silently corrupt the
+        ledger; misuse must fail identically under any interpreter flag.
+        """
+        if self._current is None:
+            raise EngineError(
+                "no superstep in progress; call begin_superstep first"
+            )
+        return self._current
+
     def begin_superstep(self, superstep: int) -> None:
         """Open accounting for a new superstep."""
+        if self._current is not None:
+            raise EngineError(
+                f"superstep {self._current.superstep} still in progress; "
+                "call end_superstep before opening another"
+            )
         self._current = SuperstepStats(
             superstep=superstep,
             worker_cost=[0.0] * self.num_workers,
@@ -98,8 +116,7 @@ class CostLedger:
         ``live_messages`` is the barrier's total queue size;
         ``max_worker_live`` the largest single worker's queue.
         """
-        assert self._current is not None, "no superstep in progress"
-        stats = self._current
+        stats = self._require_open()
         self.steps.append(stats)
         self._current = None
         self.peak_live_messages = max(self.peak_live_messages, live_messages)
@@ -122,29 +139,24 @@ class CostLedger:
     # ------------------------------------------------------------------
     def add_cost(self, worker: int, units: float) -> None:
         """Charge ``units`` of work to ``worker`` in the current superstep."""
-        assert self._current is not None, "no superstep in progress"
-        self._current.worker_cost[worker] += units
+        self._require_open().worker_cost[worker] += units
 
     def count_message(self, worker: int) -> None:
         """Record one message produced by ``worker``."""
-        assert self._current is not None, "no superstep in progress"
-        self._current.worker_messages[worker] += 1
+        self._require_open().worker_messages[worker] += 1
 
     def count_compute(self, worker: int) -> None:
         """Record one vertex-program invocation on ``worker``."""
-        assert self._current is not None, "no superstep in progress"
-        self._current.worker_compute_calls[worker] += 1
+        self._require_open().worker_compute_calls[worker] += 1
 
     def add_messages(self, worker: int, count: int) -> None:
         """Record ``count`` messages produced by ``worker`` (bulk form,
         used when merging a worker's whole superstep at the barrier)."""
-        assert self._current is not None, "no superstep in progress"
-        self._current.worker_messages[worker] += count
+        self._require_open().worker_messages[worker] += count
 
     def add_compute(self, worker: int, count: int) -> None:
         """Record ``count`` vertex-program invocations on ``worker``."""
-        assert self._current is not None, "no superstep in progress"
-        self._current.worker_compute_calls[worker] += count
+        self._require_open().worker_compute_calls[worker] += count
 
     # ------------------------------------------------------------------
     # Derived metrics

@@ -30,6 +30,7 @@ from .bench.tables import format_table
 from .core.listing import PSgL
 from .graph.io import read_edge_list
 from .graph.stats import skew_report
+from .obs import Tracer, straggler_report, write_chrome_trace, write_jsonl
 from .pattern.catalog import describe, get_pattern, paper_patterns, pattern_from_edges
 from .runtime import available_backends
 
@@ -72,6 +73,18 @@ def _build_parser() -> argparse.ArgumentParser:
     count.add_argument("--scale", type=float, default=1.0)
     count.add_argument("--seed", type=int, default=0)
     count.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a per-superstep trace: .jsonl writes JSON lines, "
+        "anything else a chrome://tracing-loadable trace-event file",
+    )
+    count.add_argument(
+        "--trace-report",
+        action="store_true",
+        help="print the straggler/imbalance report after the run",
+    )
+    count.add_argument(
         "--no-index", action="store_true", help="disable the bloom edge index"
     )
     count.add_argument(
@@ -103,6 +116,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--procs", type=int, default=None)
     bench.add_argument("--out", type=Path, default=None, help="directory for .txt reports")
+    bench.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for per-experiment Chrome trace files "
+        "(experiments that support tracing write <id>_trace.json)",
+    )
     return parser
 
 
@@ -115,6 +136,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         graph = load_dataset(args.dataset, args.scale)
     else:
         graph, _ = read_edge_list(args.edge_list)
+    tracer = Tracer() if (args.trace or args.trace_report) else None
     psgl = PSgL(
         graph,
         num_workers=args.workers,
@@ -123,6 +145,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         procs=args.procs,
+        trace=tracer,
     )
     initial = None if args.initial_vertex is None else args.initial_vertex - 1
     result = psgl.run(pattern, initial_vertex=initial)
@@ -136,6 +159,18 @@ def _cmd_count(args: argparse.Namespace) -> int:
     print(f"strategy   : {result.strategy}")
     print(f"backend    : {args.backend}")
     print(f"wall time  : {result.wall_seconds:.3f}s")
+    if tracer is not None and args.trace:
+        path = Path(args.trace)
+        if path.suffix == ".jsonl":
+            write_jsonl(tracer, path)
+            trace_format = "JSONL"
+        else:
+            write_chrome_trace(tracer, path)
+            trace_format = "chrome trace-event"
+        print(f"trace      : {path} ({len(tracer)} events, {trace_format})")
+    if tracer is not None and args.trace_report:
+        print()
+        print(straggler_report(tracer))
     return 0
 
 
@@ -192,6 +227,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out_dir=args.out,
         backend=args.backend,
         procs=args.procs,
+        trace_dir=args.trace,
     )
     return 0
 

@@ -64,6 +64,23 @@ class DistributionStrategy:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def _require_candidates(self, candidates: List[int]) -> None:
+        """Fail loudly on an empty candidate list.
+
+        Without this guard each strategy failed differently — workload-
+        aware returned the ``-1`` sentinel, which Python's negative
+        indexing silently turned into routing by ``mapping[-1]`` (a wrong
+        but plausible-looking worker); random raised ``ValueError`` from
+        the RNG and roulette ``IndexError``.  An empty list always means
+        the caller filtered every GRAY vertex out, so every strategy
+        reports it the same way.
+        """
+        if not candidates:
+            raise DistributionError(
+                f"{self.name}: no GRAY candidates to choose an expansion "
+                "vertex from (the Gpsi has no useful gray vertex)"
+            )
+
     @staticmethod
     def _rng(worker_state: Dict[str, Any]) -> np.random.Generator:
         rng = worker_state.get("dist_rng")
@@ -80,6 +97,7 @@ class RandomStrategy(DistributionStrategy):
     name = "random"
 
     def choose(self, gpsi, candidates, pattern, graph, partition, worker_state):
+        self._require_candidates(candidates)
         if len(candidates) == 1:
             return candidates[0]
         rng = self._rng(worker_state)
@@ -92,6 +110,7 @@ class RouletteStrategy(DistributionStrategy):
     name = "roulette"
 
     def choose(self, gpsi, candidates, pattern, graph, partition, worker_state):
+        self._require_candidates(candidates)
         if len(candidates) == 1:
             return candidates[0]
         # p_k proportional to prod_{j != k} deg_j == proportional to 1/deg_k.
@@ -122,6 +141,7 @@ class WorkloadAwareStrategy(DistributionStrategy):
         self.name = f"workload-aware({alpha})"
 
     def choose(self, gpsi, candidates, pattern, graph, partition, worker_state):
+        self._require_candidates(candidates)
         load_view = worker_state.get("dist_load_view")
         if load_view is None:
             load_view = [0.0] * partition.num_workers

@@ -70,6 +70,9 @@ class ListingResult:
     index_pruned: int = 0
     per_vertex_counts: Optional[Dict[int, int]] = None
     message_bytes: Optional[int] = None
+    #: The tracer that observed the run (None when tracing was off);
+    #: feed it to ``repro.obs`` exporters.
+    trace: Optional[object] = None
 
     @property
     def makespan(self) -> float:
@@ -312,6 +315,12 @@ class PSgL:
     procs:
         OS-level parallelism for parallel backends (default:
         ``min(num_workers, cpu_count)``).
+    trace:
+        Observability: ``None``/``False`` (default, zero overhead), a
+        :class:`repro.obs.Tracer` to record per-superstep events into
+        (one tracer may observe several runs), or ``True`` for a fresh
+        tracer per run, returned on ``ListingResult.trace``.  See
+        ``docs/observability.md``.
     """
 
     def __init__(
@@ -329,6 +338,7 @@ class PSgL:
         costs: CostParameters = DEFAULT_COSTS,
         backend: str = "serial",
         procs: Optional[int] = None,
+        trace: object = None,
     ):
         self.graph = graph
         self.ordered = OrderedGraph(graph)
@@ -348,6 +358,7 @@ class PSgL:
         self.costs = costs
         self.backend = backend
         self.procs = procs
+        self.trace = trace
 
     # ------------------------------------------------------------------
     def run(
@@ -429,6 +440,7 @@ class PSgL:
             worker_memory_budget=self.worker_memory_budget,
             backend=self.backend,
             procs=self.procs,
+            trace=self.trace,
         )
         bsp_result: BSPResult = engine.run(program)
         return ListingResult(
@@ -448,6 +460,7 @@ class PSgL:
             message_bytes=(
                 program.message_bytes if track_message_bytes else None
             ),
+            trace=bsp_result.trace,
         )
 
     def count(self, pattern: PatternGraph, **kwargs) -> int:

@@ -40,6 +40,7 @@ from ..bsp.message import Message, MessageStore
 from ..bsp.vertex_program import ComputeContext, VertexProgram
 from ..graph.graph import Graph
 from ..graph.partition import Partition
+from ..obs.tracer import NULL_TRACER
 
 # One logical worker's superstep input: (vertex, delivered payloads) in
 # delivery order.  Superstep 0 delivers empty payload lists.
@@ -55,6 +56,10 @@ class JobSpec:
     partition: Partition
     num_workers: int
     worker_states: List[Dict[str, Any]]
+    #: Observability sink for backend lifecycle events (setup wall time,
+    #: pool configuration, shared-memory export sizes); defaults to the
+    #: no-op tracer so executors emit unconditionally behind one flag.
+    tracer: Any = NULL_TRACER
 
 
 @dataclass

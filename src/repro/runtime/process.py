@@ -28,7 +28,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
+from time import perf_counter
 from typing import Any, Dict, List, Optional
 
 from .executor import (
@@ -120,12 +121,19 @@ class ProcessExecutor(SuperstepExecutor):
 
     def start(self, spec: JobSpec) -> None:
         self._spec = spec
+        setup_started = perf_counter()
         # The program's precomputed per-vertex arrays (ranks, degree
         # statistics) ride along the CSR blocks: one copy per machine,
         # re-attached zero-copy by every pool process.
         self._export = SharedGraphExport(
             spec.graph, aux=spec.program.export_shared()
         )
+        if spec.tracer.enabled:
+            spec.tracer.emit(
+                "export",
+                total_bytes=self._export.nbytes(),
+                **self._export.block_sizes(),
+            )
         program_bytes = pickle.dumps(spec.program)
         method = self._start_method
         if method is None:
@@ -151,6 +159,15 @@ class ProcessExecutor(SuperstepExecutor):
             self._export = None
             raise
         self._states = [{} for _ in range(spec.num_workers)]
+        if spec.tracer.enabled:
+            spec.tracer.emit(
+                "executor",
+                wall_ms=(perf_counter() - setup_started) * 1000.0,
+                backend=self.name,
+                inprocess=False,
+                pool=procs,
+                start_method=method,
+            )
 
     def run_superstep(
         self, superstep: int, batches: List[WorkerBatch], registry: Any
@@ -168,7 +185,18 @@ class ProcessExecutor(SuperstepExecutor):
             for worker_id, batch in enumerate(batches)
             if batch
         ]
-        results = [future.result() for future in futures]
+        try:
+            results = [future.result() for future in futures]
+        except BaseException:
+            # A child raised.  The remaining futures keep running in the
+            # pool — cancel what has not started and *wait out* what has,
+            # so the engine's teardown (which unlinks the shared CSR
+            # blocks in close()) can never race live children still
+            # scanning them.
+            for future in futures:
+                future.cancel()
+            wait(futures)
+            raise
         for result in results:
             self._states[result.worker_id] = result.worker_state
             result.worker_state = None  # driver-side bookkeeping only

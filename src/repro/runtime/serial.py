@@ -32,6 +32,10 @@ class SerialExecutor(SuperstepExecutor):
     def start(self, spec: JobSpec) -> None:
         self._spec = spec
         self._combiner = spec.program.message_combiner()
+        if spec.tracer.enabled:
+            spec.tracer.emit(
+                "executor", backend=self.name, inprocess=True, pool=None
+            )
 
     def run_superstep(
         self, superstep: int, batches: List[WorkerBatch], registry: Any

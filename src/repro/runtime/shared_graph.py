@@ -108,6 +108,16 @@ class SharedGraphExport:
             total += self._shm_aux.size
         return total
 
+    def block_sizes(self) -> Dict[str, int]:
+        """Per-block byte sizes (the trace's ``export`` event payload)."""
+        sizes = {
+            "indptr": self._shm_indptr.size,
+            "indices": self._shm_indices.size,
+        }
+        if self._shm_aux is not None:
+            sizes["aux"] = self._shm_aux.size
+        return sizes
+
     def close(self) -> None:
         """Release and unlink all blocks (idempotent)."""
         if self._closed:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 from typing import Any, List, Optional
 
 from .executor import (
@@ -46,6 +47,7 @@ class ThreadExecutor(SuperstepExecutor):
 
     def start(self, spec: JobSpec) -> None:
         self._spec = spec
+        setup_started = perf_counter()
         # One pickle round-trip per logical worker: drops the graph via the
         # program's __getstate__, then rebinds the *shared* graph object —
         # replicas own their mutable state but alias one adjacency.
@@ -61,6 +63,16 @@ class ThreadExecutor(SuperstepExecutor):
         self._states = [{} for _ in range(spec.num_workers)]
         workers = self._procs or min(spec.num_workers, 4)
         self._pool = ThreadPoolExecutor(max_workers=max(workers, 1))
+        if spec.tracer.enabled:
+            spec.tracer.emit(
+                "executor",
+                wall_ms=(perf_counter() - setup_started) * 1000.0,
+                backend=self.name,
+                inprocess=False,
+                pool=max(workers, 1),
+                replicas=len(self._replicas),
+                replica_bytes=len(payload),
+            )
 
     def run_superstep(
         self, superstep: int, batches: List[WorkerBatch], registry: Any

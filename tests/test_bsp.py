@@ -189,6 +189,30 @@ class TestCostLedger:
         summary = ledger.summary()
         assert {"supersteps", "makespan", "total_cost", "messages"} <= set(summary)
 
+    def test_misuse_raises_engine_error_not_assert(self):
+        """Regression: "no superstep in progress" was a bare ``assert``,
+        which vanishes under ``python -O`` and silently corrupted the
+        ledger; it must be a real EngineError on every path."""
+        ledger = CostLedger(2)
+        with pytest.raises(EngineError):
+            ledger.add_cost(0, 1.0)
+        with pytest.raises(EngineError):
+            ledger.count_message(0)
+        with pytest.raises(EngineError):
+            ledger.count_compute(0)
+        with pytest.raises(EngineError):
+            ledger.add_messages(0, 2)
+        with pytest.raises(EngineError):
+            ledger.add_compute(0, 2)
+        with pytest.raises(EngineError):
+            ledger.end_superstep(live_messages=0)
+
+    def test_double_begin_raises(self):
+        ledger = CostLedger(1)
+        ledger.begin_superstep(0)
+        with pytest.raises(EngineError):
+            ledger.begin_superstep(1)
+
 
 class TestPartitions:
     def test_random_partition_covers_all(self):

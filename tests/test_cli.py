@@ -60,6 +60,67 @@ class TestCount:
         assert "instances  : 6" in capsys.readouterr().out
 
 
+class TestTrace:
+    def test_count_writes_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "k5.txt"
+        write_edge_list(complete_graph(5), path)
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "count", "--pattern", "PG1", "--edge-list", str(path),
+                "--trace", str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert "trace      :" in capsys.readouterr().out
+        info = validate_chrome_trace(trace_path)
+        assert info["worker_cost_totals"] and info["supersteps"] > 0
+
+    def test_count_writes_jsonl_by_extension(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "k5.txt"
+        write_edge_list(complete_graph(5), path)
+        trace_path = tmp_path / "trace.jsonl"
+        main(
+            [
+                "count", "--pattern", "PG1", "--edge-list", str(path),
+                "--trace", str(trace_path),
+            ]
+        )
+        tracer = read_jsonl(trace_path)
+        assert tracer.by_kind("worker")
+        assert tracer.meta["backend"] == "serial"
+
+    def test_count_trace_report(self, tmp_path, capsys):
+        path = tmp_path / "k5.txt"
+        write_edge_list(complete_graph(5), path)
+        main(
+            [
+                "count", "--pattern", "PG1", "--edge-list", str(path),
+                "--trace-report",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "per-worker totals" in out and "straggler" in out
+
+    def test_bench_trace_dir(self, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        code = main(
+            [
+                "bench", "--experiments", "fig5", "--scale", "0.05",
+                "--out", str(tmp_path), "--trace", str(tmp_path / "traces"),
+            ]
+        )
+        assert code == 0
+        trace_path = tmp_path / "traces" / "fig5_trace.json"
+        assert trace_path.exists()
+        assert validate_chrome_trace(trace_path)["events"] > 0
+
+
 class TestInfoCommands:
     def test_datasets(self, capsys):
         assert main(["datasets"]) == 0

@@ -103,6 +103,39 @@ class TestRoulette:
         assert abs(picks.count(3) / n - expected_leaf) < 0.04
 
 
+class TestEmptyCandidates:
+    """Regression: every strategy must raise DistributionError on an
+    empty candidate list.  Before the fix each failed differently —
+    workload-aware returned the ``-1`` sentinel (which negative indexing
+    turned into a silently wrong ``mapping[-1]`` route), random raised
+    ValueError from ``rng.integers(0)``, roulette IndexError."""
+
+    def test_random_raises_distribution_error(self, setup):
+        g, pattern, partition, gpsi = setup
+        with pytest.raises(DistributionError, match="no GRAY candidates"):
+            RandomStrategy().choose(
+                gpsi, [], pattern, g, partition, worker_state()
+            )
+
+    def test_roulette_raises_distribution_error(self, setup):
+        g, pattern, partition, gpsi = setup
+        with pytest.raises(DistributionError, match="no GRAY candidates"):
+            RouletteStrategy().choose(
+                gpsi, [], pattern, g, partition, worker_state()
+            )
+
+    def test_workload_aware_raises_instead_of_sentinel(self, setup):
+        g, pattern, partition, gpsi = setup
+        strategy = WorkloadAwareStrategy(alpha=0.5)
+        with pytest.raises(DistributionError, match="no GRAY candidates"):
+            strategy.choose(gpsi, [], pattern, g, partition, worker_state())
+        # The guard must also fire before the load view is touched.
+        state = worker_state()
+        with pytest.raises(DistributionError):
+            strategy.choose(gpsi, [], pattern, g, partition, state)
+        assert "dist_load_view" not in state
+
+
 class TestWorkloadAware:
     def test_alpha_zero_always_cheapest(self, setup):
         """alpha=0 ignores worker load entirely: pure min-increase."""

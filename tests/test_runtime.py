@@ -224,6 +224,65 @@ class TestBackendEquivalence:
             engine.run(Ripple(rounds=2))
 
 
+class FaultyCompute(VertexProgram):
+    """Raises inside ``compute`` on one worker in superstep 1 — the
+    child-failure path of the parallel backends."""
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 1 and ctx.worker_id == 1:
+            raise ValueError("injected child failure")
+        ctx.add_cost(1.0)
+        if ctx.superstep < 2:
+            for u in ctx.graph.neighbors(ctx.vertex):
+                ctx.send(int(u), ctx.vertex)
+
+
+class FaultyWithTeardown(FaultyCompute):
+    """Module-level (picklable) variant that records post_application."""
+
+    torn_down = False
+
+    def post_application(self):
+        FaultyWithTeardown.torn_down = True
+
+
+class TestProcessChildFailure:
+    """Regression: ``ProcessExecutor.run_superstep`` gathered futures in
+    order, so the first child exception propagated while later futures
+    kept running uncancelled — racing teardown's shared-memory unlink
+    against children still scanning the CSR blocks."""
+
+    def _engine(self, **kwargs):
+        g = erdos_renyi(24, 0.3, seed=5)
+        return BSPEngine(g, hash_partition(24, 3), **kwargs)
+
+    def test_child_exception_propagates(self):
+        engine = self._engine(backend="process", procs=2)
+        with pytest.raises(ValueError, match="injected child failure"):
+            engine.run(FaultyCompute())
+
+    def test_outstanding_futures_drained_before_teardown(self):
+        """After the failure the driver must be able to re-export and run
+        again immediately: if close() had unlinked blocks under live
+        children, the kernel names could linger or the pool would be
+        wedged."""
+        for _ in range(2):
+            engine = self._engine(backend="process", procs=2)
+            with pytest.raises(ValueError):
+                engine.run(FaultyCompute())
+        # And a healthy run on a fresh engine still succeeds.
+        engine = self._engine(backend="process", procs=2)
+        program = Ripple(rounds=1)
+        engine.run(program)
+
+    def test_program_torn_down_on_child_failure(self):
+        FaultyWithTeardown.torn_down = False
+        engine = self._engine(backend="process", procs=2)
+        with pytest.raises(ValueError):
+            engine.run(FaultyWithTeardown())
+        assert FaultyWithTeardown.torn_down
+
+
 class TestEngineTeardown:
     def test_post_application_called_on_max_supersteps(self):
         """Regression: the max_supersteps overflow path must tear the
