@@ -86,11 +86,12 @@ def run_all(
     progress: Optional[Callable[[str], None]] = print,
     backend: Optional[str] = None,
     procs: Optional[int] = None,
+    wire: Optional[str] = None,
     trace_dir: Optional[Path] = None,
 ) -> List[ExperimentReport]:
     """Run every (or the selected) experiment, optionally persisting the
-    rendered text under ``out_dir``.  ``backend``/``procs`` forward to
-    experiments whose ``run`` supports them; with ``trace_dir`` set, each
+    rendered text under ``out_dir``.  ``backend``/``procs``/``wire``
+    forward to experiments whose ``run`` supports them; with ``trace_dir`` set, each
     experiment that accepts a ``trace`` kwarg records its runs into a
     tracer and a Chrome trace file lands at ``<trace_dir>/<id>_trace.json``.
     """
@@ -102,6 +103,8 @@ def run_all(
         runtime_kwargs["backend"] = backend
     if procs is not None:
         runtime_kwargs["procs"] = procs
+    if wire is not None:
+        runtime_kwargs["wire"] = wire
     reports = []
     for experiment in chosen:
         if progress:

@@ -7,8 +7,14 @@ from .aggregate import (
     min_aggregator,
     sum_aggregator,
 )
-from .engine import BSPEngine, BSPResult
-from .message import Message, MessageStore
+from .engine import BSPEngine, BSPResult, WIRE_PLANES
+from .message import (
+    ColumnarMessageStore,
+    GpsiBatch,
+    Message,
+    MessageStore,
+    PackedWorkerBatch,
+)
 from .metrics import CostLedger, SuperstepStats
 from .vertex_program import ComputeContext, VertexProgram
 from .worker import Worker
@@ -21,8 +27,12 @@ __all__ = [
     "sum_aggregator",
     "BSPEngine",
     "BSPResult",
+    "WIRE_PLANES",
+    "ColumnarMessageStore",
+    "GpsiBatch",
     "Message",
     "MessageStore",
+    "PackedWorkerBatch",
     "CostLedger",
     "SuperstepStats",
     "ComputeContext",

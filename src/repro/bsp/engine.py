@@ -31,10 +31,13 @@ from ..graph.graph import Graph
 from ..graph.partition import Partition
 from ..obs.tracer import make_tracer
 from .aggregate import AggregatorRegistry
-from .message import MessageStore
+from .message import ColumnarMessageStore, MessageStore
 from .metrics import CostLedger
 from .vertex_program import VertexProgram
 from .worker import Worker
+
+#: Wire planes the barrier shuffle can run on (see repro.bsp.message).
+WIRE_PLANES = ("object", "columnar")
 
 
 @dataclass
@@ -90,6 +93,11 @@ class BSPEngine:
         :class:`repro.obs.Tracer` to record per-superstep events into,
         or ``True`` to create a fresh tracer (returned on
         :attr:`BSPResult.trace`).  See ``docs/observability.md``.
+    wire:
+        Wire plane for the barrier shuffle: ``"object"`` (default; the
+        generic per-payload reference) or ``"columnar"`` (packed Gpsi
+        buffers, combiner-less Gpsi programs only — see
+        :mod:`repro.bsp.message` and ``docs/perf.md``).
     """
 
     def __init__(
@@ -102,12 +110,18 @@ class BSPEngine:
         backend: Union[str, Any] = "serial",
         procs: Optional[int] = None,
         trace: Any = None,
+        wire: str = "object",
     ):
         if partition.num_vertices != graph.num_vertices:
             raise EngineError(
                 f"partition covers {partition.num_vertices} vertices, "
                 f"graph has {graph.num_vertices}"
             )
+        if wire not in WIRE_PLANES:
+            raise EngineError(
+                f"unknown wire plane {wire!r}; available: {list(WIRE_PLANES)}"
+            )
+        self.wire = wire
         self.graph = graph
         self.partition = partition
         self.memory_budget = memory_budget
@@ -142,6 +156,11 @@ class BSPEngine:
         )
         outputs: List[Any] = []
         combiner = program.message_combiner()
+        if self.wire == "columnar" and combiner is not None:
+            raise EngineError(
+                "the columnar wire plane cannot honour a message combiner; "
+                "run combiner programs with wire='object'"
+            )
         inbox = MessageStore(combiner)
         registry = AggregatorRegistry(
             program.aggregators(), program.persistent_aggregators()
@@ -168,6 +187,7 @@ class BSPEngine:
                 num_workers=self.num_workers,
                 worker_states=[worker.state for worker in self.workers],
                 tracer=tracer,
+                wire=self.wire,
             )
         )
         merge_program_state = not executor.inprocess
@@ -183,7 +203,11 @@ class BSPEngine:
                         "program may not terminate"
                     )
                 ledger.begin_superstep(superstep)
-                outbox = MessageStore(combiner)
+                outbox = (
+                    ColumnarMessageStore()
+                    if self.wire == "columnar"
+                    else MessageStore(combiner)
+                )
                 inbound_per_worker = [0] * self.num_workers
 
                 batches = self._build_batches(active, inbox)
@@ -196,11 +220,16 @@ class BSPEngine:
                 )
                 # Barrier: shuffle messages and fold per-worker effects in
                 # worker-id order (= the serial engine's interleaving).
+                # Under the columnar plane each merge appends a packed
+                # buffer set — the ledger records the exact wire bytes it
+                # shipped, with no per-message encoded_size calls.
                 for result in results:
                     wid = result.worker_id
                     ledger.add_cost(wid, result.cost)
                     ledger.add_messages(wid, result.messages_sent)
                     ledger.add_compute(wid, result.compute_calls)
+                    if result.wire_bytes is not None:
+                        ledger.add_wire_bytes(wid, result.wire_bytes)
                     for dest, count in enumerate(result.inbound):
                         inbound_per_worker[dest] += count
                     outbox.merge_batch(result.outbox)
@@ -224,12 +253,18 @@ class BSPEngine:
                             compute_calls=result.compute_calls,
                             outputs=len(result.outputs),
                         )
+                    barrier_extra = {}
+                    if any(r.wire_bytes is not None for r in results):
+                        barrier_extra["wire_bytes"] = sum(
+                            r.wire_bytes or 0 for r in results
+                        )
                     tracer.emit(
                         "barrier",
                         superstep=superstep,
                         live_messages=len(outbox),
                         max_worker_live=max(inbound_per_worker),
                         queue_depths=list(inbound_per_worker),
+                        **barrier_extra,
                     )
                     tracer.emit(
                         "superstep",
@@ -281,7 +316,16 @@ class BSPEngine:
     ) -> List[List]:
         """Group the active set by owning worker, preserving activation
         order within each worker, and attach each vertex's delivered
-        payloads — the executor-facing unit of work."""
+        payloads — the executor-facing unit of work.
+
+        A columnar inbox is never opened here: the whole store partitions
+        into per-worker packed batches with one vectorised pass over its
+        destination column, and payloads stay packed until the executing
+        worker materialises them."""
+        if isinstance(inbox, ColumnarMessageStore):
+            return inbox.build_worker_batches(
+                self.partition.owner_array, self.num_workers
+            )
         by_worker: List[List[int]] = [[] for _ in range(self.num_workers)]
         for v in active:
             by_worker[self.partition.owner(v)].append(v)

@@ -1,13 +1,35 @@
-"""Message container and per-worker queues for the BSP engine.
+"""Message containers and wire planes for the BSP engine.
 
 Messages are addressed to data vertices (vertex-centric model); the engine
 routes each to the worker owning the destination and delivers it at the
 start of the next superstep, exactly like Pregel/Giraph.
+
+Two *wire planes* implement the barrier crossing:
+
+* the **object plane** (:class:`MessageStore`) moves per-message Python
+  payloads — fully generic, the reference implementation;
+* the **columnar plane** (:class:`ColumnarMessageStore`) moves whole
+  Gpsi outboxes as a handful of contiguous numpy buffers
+  (:class:`GpsiBatch`), shuffles by destination worker with a vectorised
+  partition, and defers ``Gpsi`` object construction to delivery time —
+  the process backend then ships O(1) buffers per worker pair instead of
+  O(#Gpsi) pickled constructor calls.  Gpsi-only, combiner-less; parity
+  with the object plane is pinned message-for-message by tests.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, NamedTuple, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _psi():
+    # Deferred: repro.core builds on repro.bsp, not vice versa; by the
+    # time a columnar batch is packed both packages are fully imported.
+    from ..core import psi
+
+    return psi
 
 
 class Message(NamedTuple):
@@ -45,9 +67,26 @@ class MessageStore:
         self._count += 1
 
     def extend(self, messages: Iterable[Message]) -> None:
-        """Queue several messages."""
-        for msg in messages:
-            self.add(msg)
+        """Queue several messages.
+
+        Combiner-less stores take a bulk fast path: one dict probe and an
+        append per message, no per-message ``add`` dispatch or combiner
+        checks — this is the worker outbox's hot loop.
+        """
+        if self._combiner is not None:
+            for msg in messages:
+                self.add(msg)
+            return
+        by_vertex = self._by_vertex
+        added = 0
+        for dest, payload in messages:
+            existing = by_vertex.get(dest)
+            if existing is None:
+                by_vertex[dest] = [payload]
+            else:
+                existing.append(payload)
+            added += 1
+        self._count += added
 
     def as_batch(self) -> List[Tuple[int, List[Any]]]:
         """Snapshot as ``(dest, payloads)`` pairs in first-send order.
@@ -66,8 +105,18 @@ class MessageStore:
         the combiner (if any) folds across workers in that same order.
         """
         for dest, payloads in batch:
+            if not payloads:
+                # Guard against empty slots: they would activate the
+                # vertex next superstep with zero messages and (in the
+                # no-combiner branch) leave ``_count`` out of sync with
+                # the payloads ``take`` can ever deliver.
+                continue
             existing = self._by_vertex.get(dest)
             if self._combiner is not None:
+                # A fold into an existing slot replaces its single
+                # payload, so ``_count`` must not move — ``len(store)``
+                # stays the number of deliverable (post-combine)
+                # payloads, exactly as ``add`` maintains it.
                 merged = existing[0] if existing else None
                 for payload in payloads:
                     merged = (
@@ -77,7 +126,7 @@ class MessageStore:
                     )
                 if existing:
                     existing[0] = merged
-                elif merged is not None:
+                else:
                     self._by_vertex[dest] = [merged]
                     self._count += 1
             else:
@@ -102,3 +151,219 @@ class MessageStore:
 
     def __bool__(self) -> bool:
         return self._count > 0
+
+
+# ----------------------------------------------------------------------
+# Columnar wire plane
+# ----------------------------------------------------------------------
+
+
+class GpsiBatch:
+    """One worker's packed Gpsi outbox: the columnar plane's wire unit.
+
+    ``dest`` is an ``int64`` destination-vertex column; ``columns`` the
+    struct-of-arrays Gpsi payload (:class:`repro.core.psi.GpsiColumns`).
+    Row order is the object plane's ``as_batch`` order — destinations in
+    first-send order, each destination's payloads in send order — so
+    concatenating batches in worker-id order reproduces the object
+    plane's delivery order exactly.
+    """
+
+    __slots__ = ("dest", "columns")
+
+    def __init__(self, dest: np.ndarray, columns: Any):
+        self.dest = dest
+        self.columns = columns
+
+    @classmethod
+    def pack(cls, outbox: Sequence[Tuple[int, List[Any]]]) -> "GpsiBatch":
+        """Pack a :meth:`MessageStore.as_batch` snapshot of Gpsi payloads."""
+        psi = _psi()
+        slots = len(outbox)
+        total = sum(len(payloads) for _, payloads in outbox)
+        if total == 0:
+            return cls(np.empty(0, dtype=np.int64), psi.GpsiColumns.empty(0))
+        first = outbox[0][1][0]
+        if not isinstance(first, psi.Gpsi):
+            raise TypeError(
+                "the columnar wire plane ships Gpsi payloads only, got "
+                f"{type(first).__name__}; run with wire='object'"
+            )
+        dest_vals = np.fromiter(
+            (dest for dest, _ in outbox), dtype=np.int64, count=slots
+        )
+        counts = np.fromiter(
+            (len(payloads) for _, payloads in outbox), dtype=np.int64, count=slots
+        )
+        gpsis = [g for _, payloads in outbox for g in payloads]
+        return cls(np.repeat(dest_vals, counts), psi.pack_gpsis(gpsis))
+
+    @property
+    def nbytes(self) -> int:
+        """Exact bytes of the buffers this batch ships across the barrier."""
+        return self.dest.nbytes + self.columns.nbytes
+
+    def __len__(self) -> int:
+        return len(self.dest)
+
+
+class PackedWorkerBatch:
+    """One logical worker's superstep input, still in packed form.
+
+    ``vertices`` lists the worker's active vertices in activation order;
+    ``counts[i]`` rows of ``columns`` (consecutive, starting at
+    ``sum(counts[:i])``) are the payloads delivered to ``vertices[i]``.
+    The batch kernel calls :meth:`materialize` right before compute — the
+    only point in the whole shuffle where ``Gpsi.__init__`` runs.
+    """
+
+    __slots__ = ("vertices", "counts", "columns")
+
+    def __init__(self, vertices: np.ndarray, counts: np.ndarray, columns: Any):
+        self.vertices = vertices
+        self.counts = counts
+        self.columns = columns
+
+    def materialize(self) -> List[Tuple[int, List[Any]]]:
+        """Decode to the executor's ``(vertex, payloads)`` batch form."""
+        gpsis = _psi().unpack_gpsis(self.columns)
+        batch = []
+        pos = 0
+        for vertex, count in zip(self.vertices.tolist(), self.counts.tolist()):
+            batch.append((vertex, gpsis[pos : pos + count]))
+            pos += count
+        return batch
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes shipped to the worker for this batch."""
+        return self.vertices.nbytes + self.counts.nbytes + self.columns.nbytes
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+class ColumnarMessageStore:
+    """Barrier store holding packed batches; decodes only at delivery.
+
+    Implements the :class:`MessageStore` barrier surface the engine uses
+    (``merge_batch`` / ``destinations`` / ``take`` / ``len``) over a list
+    of :class:`GpsiBatch` chunks, one per sending worker, merged in
+    worker-id order.  ``take`` and ``build_worker_batches`` group rows
+    with vectorised partitions over the destination column; no Gpsi
+    object exists driver-side unless ``take`` is asked to deliver one.
+
+    Combiner-less by design: Gpsi payloads are not reducible, and the
+    engine refuses to select the columnar plane for programs that declare
+    a combiner.
+    """
+
+    __slots__ = ("_chunks", "_count", "_dest", "_columns", "_groups")
+
+    def __init__(self):
+        self._chunks: List[GpsiBatch] = []
+        self._count = 0
+        self._dest: Optional[np.ndarray] = None
+        self._columns: Any = None
+        self._groups: Optional[Dict[int, np.ndarray]] = None
+
+    # -- barrier surface ------------------------------------------------
+    def merge_batch(self, batch: GpsiBatch) -> None:
+        """Append one worker's packed outbox (O(1), no decode)."""
+        if len(batch) == 0:
+            return
+        self._chunks.append(batch)
+        self._count += len(batch)
+        self._dest = self._columns = self._groups = None
+
+    def _merged(self) -> Tuple[np.ndarray, Any]:
+        """Chunks concatenated in merge (= worker-id) order, cached."""
+        if self._dest is None:
+            psi = _psi()
+            self._dest = (
+                np.concatenate([c.dest for c in self._chunks])
+                if self._chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            self._columns = (
+                psi.GpsiColumns.concat([c.columns for c in self._chunks])
+                if self._chunks
+                else psi.GpsiColumns.empty(0)
+            )
+        return self._dest, self._columns
+
+    def as_batch(self) -> GpsiBatch:
+        """The whole store as one packed batch (first-send row order)."""
+        dest, columns = self._merged()
+        return GpsiBatch(dest, columns)
+
+    def destinations(self) -> List[int]:
+        """Vertices with pending messages, in first-send order."""
+        dest, _ = self._merged()
+        uniq, first = np.unique(dest, return_index=True)
+        return uniq[np.argsort(first, kind="stable")].tolist()
+
+    def take(self, vertex: int) -> List[Any]:
+        """Remove and decode the payloads addressed to ``vertex``."""
+        if self._groups is None:
+            dest, _ = self._merged()
+            uniq, inverse = np.unique(dest, return_inverse=True)
+            order = np.argsort(inverse, kind="stable")
+            bounds = np.searchsorted(inverse[order], np.arange(len(uniq) + 1))
+            self._groups = {
+                int(uniq[i]): order[bounds[i] : bounds[i + 1]]
+                for i in range(len(uniq))
+            }
+        rows = self._groups.pop(vertex, None)
+        if rows is None:
+            return []
+        self._count -= len(rows)
+        return _psi().unpack_gpsis(self._columns.take(rows))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    # -- vectorised shuffle ---------------------------------------------
+    def build_worker_batches(
+        self, owner_of: np.ndarray, num_workers: int
+    ) -> List[Any]:
+        """Partition the store into one packed batch per logical worker.
+
+        ``owner_of`` maps vertex id -> owning worker (the partition's
+        owner array).  Replaces the object plane's per-vertex
+        ``take``-and-regroup with three vectorised passes: an owner
+        gather, a per-worker row select, and a stable grouping of rows by
+        destination in first-send order — exactly the activation and
+        delivery order the object plane produces.  Workers with no
+        messages get an empty (falsy) batch.
+        """
+        dest, columns = self._merged()
+        batches: List[Any] = []
+        owner = owner_of[dest]
+        for w in range(num_workers):
+            rows = np.flatnonzero(owner == w)
+            if len(rows) == 0:
+                batches.append([])
+                continue
+            dest_w = dest[rows]
+            uniq, first_idx, inverse = np.unique(
+                dest_w, return_index=True, return_inverse=True
+            )
+            # Rank each distinct destination by first appearance, then
+            # stable-sort rows by that rank: groups ordered by first
+            # send, rows within a group in send order.
+            rank = np.empty(len(uniq), dtype=np.int64)
+            rank[np.argsort(first_idx, kind="stable")] = np.arange(len(uniq))
+            perm = np.argsort(rank[inverse], kind="stable")
+            first_order = np.argsort(first_idx, kind="stable")
+            batches.append(
+                PackedWorkerBatch(
+                    vertices=uniq[first_order],
+                    counts=np.bincount(rank[inverse], minlength=len(uniq)),
+                    columns=columns.take(rows[perm]),
+                )
+            )
+        return batches

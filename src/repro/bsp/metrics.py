@@ -32,6 +32,9 @@ class SuperstepStats:
     worker_cost: List[float]
     worker_messages: List[int]
     worker_compute_calls: List[int]
+    #: Exact bytes each worker's packed outbox shipped across the barrier
+    #: (filled by wire planes that can measure it; zeros otherwise).
+    worker_wire_bytes: Optional[List[int]] = None
 
     @property
     def max_cost(self) -> float:
@@ -106,6 +109,7 @@ class CostLedger:
             worker_cost=[0.0] * self.num_workers,
             worker_messages=[0] * self.num_workers,
             worker_compute_calls=[0] * self.num_workers,
+            worker_wire_bytes=[0] * self.num_workers,
         )
 
     def end_superstep(
@@ -158,6 +162,15 @@ class CostLedger:
         """Record ``count`` vertex-program invocations on ``worker``."""
         self._require_open().worker_compute_calls[worker] += count
 
+    def add_wire_bytes(self, worker: int, nbytes: int) -> None:
+        """Record exact barrier bytes shipped by ``worker``'s outbox.
+
+        Only wire planes that can measure their buffers feed this (the
+        columnar plane reports its packed-column sizes); the object
+        plane's volume is payload-defined and stays with the program's
+        codec-based accounting (``track_message_bytes``)."""
+        self._require_open().worker_wire_bytes[worker] += nbytes
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
@@ -177,6 +190,17 @@ class CostLedger:
     def total_messages(self) -> int:
         """Total messages (Gpsis) communicated over the whole run."""
         return int(sum(s.total_messages for s in self.steps))
+
+    def total_wire_bytes(self) -> int:
+        """Exact barrier bytes over the whole run (0 when the selected
+        wire plane does not measure them; see :meth:`add_wire_bytes`)."""
+        return int(
+            sum(
+                sum(s.worker_wire_bytes)
+                for s in self.steps
+                if s.worker_wire_bytes is not None
+            )
+        )
 
     def worker_totals(self) -> List[float]:
         """Per-worker cost summed over all supersteps (Figure 5's bars)."""

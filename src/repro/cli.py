@@ -69,6 +69,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="OS processes/threads for parallel backends "
         "(default: min(workers, cpu count))",
     )
+    count.add_argument(
+        "--wire",
+        choices=["object", "columnar"],
+        default="object",
+        help="barrier wire plane: per-message objects (reference) or "
+        "batch-packed Gpsi buffers (columnar; fastest with --backend "
+        "process)",
+    )
     count.add_argument("--strategy", default="WA,0.5")
     count.add_argument("--scale", type=float, default=1.0)
     count.add_argument("--seed", type=int, default=0)
@@ -115,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution backend for experiments that support one",
     )
     bench.add_argument("--procs", type=int, default=None)
+    bench.add_argument(
+        "--wire",
+        choices=["object", "columnar"],
+        default=None,
+        help="barrier wire plane for experiments that support one",
+    )
     bench.add_argument("--out", type=Path, default=None, help="directory for .txt reports")
     bench.add_argument(
         "--trace",
@@ -145,6 +159,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         procs=args.procs,
+        wire=args.wire,
         trace=tracer,
     )
     initial = None if args.initial_vertex is None else args.initial_vertex - 1
@@ -158,6 +173,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
     print(f"initial vp : v{result.initial_vertex + 1}")
     print(f"strategy   : {result.strategy}")
     print(f"backend    : {args.backend}")
+    print(f"wire plane : {args.wire}")
     print(f"wall time  : {result.wall_seconds:.3f}s")
     if tracer is not None and args.trace:
         path = Path(args.trace)
@@ -227,6 +243,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out_dir=args.out,
         backend=args.backend,
         procs=args.procs,
+        wire=args.wire,
         trace_dir=args.trace,
     )
     return 0

@@ -2,7 +2,17 @@
 
 from .bloom import BloomFilter, optimal_parameters
 from .candidates import candidate_set, candidate_set_scalar, combination_consistent
-from .codec import CodecError, decode_gpsi, encode_gpsi, encoded_size
+from .codec import (
+    CodecError,
+    decode_batch,
+    decode_columns,
+    decode_gpsi,
+    encode_batch,
+    encode_columns,
+    encode_gpsi,
+    encoded_size,
+    encoded_size_batch,
+)
 from .cost import (
     CostParameters,
     DEFAULT_COSTS,
@@ -36,7 +46,7 @@ from .init_vertex import (
     select_initial_vertex,
 )
 from .listing import ListingResult, PSgL, PSgLProgram
-from .psi import Gpsi, UNMAPPED
+from .psi import Gpsi, GpsiColumns, UNMAPPED, pack_gpsis, unpack_gpsis
 
 __all__ = [
     "BloomFilter",
@@ -45,9 +55,14 @@ __all__ = [
     "candidate_set_scalar",
     "combination_consistent",
     "CodecError",
+    "decode_batch",
+    "decode_columns",
     "decode_gpsi",
+    "encode_batch",
+    "encode_columns",
     "encode_gpsi",
     "encoded_size",
+    "encoded_size_batch",
     "CostParameters",
     "DEFAULT_COSTS",
     "binomial",
@@ -77,5 +92,8 @@ __all__ = [
     "PSgL",
     "PSgLProgram",
     "Gpsi",
+    "GpsiColumns",
     "UNMAPPED",
+    "pack_gpsis",
+    "unpack_gpsis",
 ]

@@ -315,6 +315,13 @@ class PSgL:
     procs:
         OS-level parallelism for parallel backends (default:
         ``min(num_workers, cpu_count)``).
+    wire:
+        Wire plane for the barrier shuffle: ``"object"`` (default) ships
+        one pickled payload per Gpsi; ``"columnar"`` packs each worker's
+        outbox into contiguous numpy buffers and defers Gpsi decoding to
+        delivery — same embeddings, ledgers and statistics, much less
+        driver-side shuffle work on the process backend (see
+        ``docs/perf.md``).
     trace:
         Observability: ``None``/``False`` (default, zero overhead), a
         :class:`repro.obs.Tracer` to record per-superstep events into
@@ -338,6 +345,7 @@ class PSgL:
         costs: CostParameters = DEFAULT_COSTS,
         backend: str = "serial",
         procs: Optional[int] = None,
+        wire: str = "object",
         trace: object = None,
     ):
         self.graph = graph
@@ -358,6 +366,7 @@ class PSgL:
         self.costs = costs
         self.backend = backend
         self.procs = procs
+        self.wire = wire
         self.trace = trace
 
     # ------------------------------------------------------------------
@@ -440,6 +449,7 @@ class PSgL:
             worker_memory_budget=self.worker_memory_budget,
             backend=self.backend,
             procs=self.procs,
+            wire=self.wire,
             trace=self.trace,
         )
         bsp_result: BSPResult = engine.run(program)

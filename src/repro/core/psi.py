@@ -21,11 +21,17 @@ the whole framework.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from ..pattern.pattern import PatternGraph
 
 UNMAPPED = -1
+
+#: ``next_vertex`` sentinel in the packed uint8 column (mirrors the codec).
+PACKED_UNSET_NEXT = 0xFF
 
 
 class Gpsi:
@@ -153,3 +159,144 @@ class Gpsi:
     def __repr__(self) -> str:
         cells = ",".join("?" if v == UNMAPPED else str(v) for v in self.mapping)
         return f"Gpsi({{{cells}}}, black={self.black:b}, next=v{self.next_vertex + 1})"
+
+
+# ----------------------------------------------------------------------
+# Array <-> Gpsi bridging (the columnar wire plane's struct-of-arrays)
+# ----------------------------------------------------------------------
+
+def _black_words(k: int) -> int:
+    """32-bit words needed to hold a ``k``-bit BLACK mask (min 1)."""
+    return max(1, (k + 31) // 32)
+
+
+@dataclass(frozen=True)
+class GpsiColumns:
+    """A batch of ``n`` Gpsis as contiguous struct-of-arrays columns.
+
+    * ``mapping`` — ``int64 (n, k)`` matrix; :data:`UNMAPPED` cells stay -1;
+    * ``black`` — ``uint32 (n, ceil(k/32))`` little-endian mask words (one
+      column for every pattern the paper runs, |Vp| <= 32);
+    * ``next_vertex`` — ``uint8 (n,)`` with :data:`PACKED_UNSET_NEXT`
+      (0xFF) standing in for the unset ``-1``.
+
+    This is the unit the columnar message plane ships across the BSP
+    barrier: a handful of buffers per worker pair instead of one pickled
+    constructor call per Gpsi.
+    """
+
+    mapping: np.ndarray
+    black: np.ndarray
+    next_vertex: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of packed instances."""
+        return self.mapping.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Pattern size |Vp|."""
+        return self.mapping.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Exact payload bytes the three buffers occupy on the wire."""
+        return self.mapping.nbytes + self.black.nbytes + self.next_vertex.nbytes
+
+    def __len__(self) -> int:
+        return self.n
+
+    def take(self, rows: np.ndarray) -> "GpsiColumns":
+        """Row subset/permutation (fancy-indexed copy) as new columns."""
+        return GpsiColumns(
+            self.mapping[rows], self.black[rows], self.next_vertex[rows]
+        )
+
+    @classmethod
+    def empty(cls, k: int) -> "GpsiColumns":
+        """A zero-instance batch for a ``k``-vertex pattern."""
+        return cls(
+            np.empty((0, k), dtype=np.int64),
+            np.empty((0, _black_words(k)), dtype=np.uint32),
+            np.empty(0, dtype=np.uint8),
+        )
+
+    @classmethod
+    def concat(cls, chunks: Sequence["GpsiColumns"]) -> "GpsiColumns":
+        """Concatenate batches row-wise (same ``k`` required)."""
+        if not chunks:
+            raise ValueError("cannot concatenate zero chunks without a k")
+        if len(chunks) == 1:
+            return chunks[0]
+        return cls(
+            np.concatenate([c.mapping for c in chunks], axis=0),
+            np.concatenate([c.black for c in chunks], axis=0),
+            np.concatenate([c.next_vertex for c in chunks], axis=0),
+        )
+
+
+def pack_gpsis(gpsis: Sequence[Gpsi], k: int = None) -> GpsiColumns:
+    """Pack Gpsis into :class:`GpsiColumns` (inverse of :func:`unpack_gpsis`).
+
+    All instances must share one pattern size; ``k`` is only required for
+    empty batches.  Packing iterates the Python objects once through
+    ``np.fromiter`` C loops — the costly per-object work happens exactly
+    once, on the sending worker, after which every barrier/shuffle step
+    downstream is pure array manipulation.
+    """
+    n = len(gpsis)
+    if n == 0:
+        if k is None:
+            raise ValueError("empty batch needs an explicit pattern size k")
+        return GpsiColumns.empty(k)
+    k = len(gpsis[0].mapping)
+    mapping = np.fromiter(
+        (cell for g in gpsis for cell in g.mapping),
+        dtype=np.int64,
+        count=n * k,
+    ).reshape(n, k)
+    words = _black_words(k)
+    if words == 1:
+        black = np.fromiter(
+            (g.black for g in gpsis), dtype=np.uint32, count=n
+        ).reshape(n, 1)
+    else:
+        black = np.fromiter(
+            (
+                (g.black >> (32 * w)) & 0xFFFFFFFF
+                for g in gpsis
+                for w in range(words)
+            ),
+            dtype=np.uint32,
+            count=n * words,
+        ).reshape(n, words)
+    next_vertex = np.fromiter(
+        (g.next_vertex & 0xFF for g in gpsis), dtype=np.uint8, count=n
+    )
+    return GpsiColumns(mapping, black, next_vertex)
+
+
+def unpack_gpsis(columns: GpsiColumns) -> List[Gpsi]:
+    """Materialise :class:`Gpsi` objects from packed columns.
+
+    This is the *delivery-time* decode: the columnar plane defers it until
+    a destination vertex's payloads are actually handed to ``compute``, so
+    ``Gpsi.__init__`` never runs during the shuffle itself.
+    """
+    rows = columns.mapping.tolist()
+    nv = columns.next_vertex.astype(np.int64)
+    nv[nv == PACKED_UNSET_NEXT] = -1
+    nexts = nv.tolist()
+    words = columns.black.shape[1]
+    if words == 1:
+        blacks = columns.black[:, 0].tolist()
+    else:
+        blacks = [
+            sum(int(word) << (32 * w) for w, word in enumerate(row))
+            for row in columns.black.tolist()
+        ]
+    return [
+        Gpsi(tuple(row), black, nxt)
+        for row, black, nxt in zip(rows, blacks, nexts)
+    ]

@@ -42,6 +42,13 @@ class Partition:
         """Worker id owning vertex ``v``."""
         return int(self._owner[v])
 
+    @property
+    def owner_array(self) -> np.ndarray:
+        """The vertex -> worker map as an ``int64`` array (read-only use;
+        lets shuffles gather owners for whole destination columns at
+        once instead of one ``owner()`` call per message)."""
+        return self._owner
+
     def vertices_of(self, worker: int) -> np.ndarray:
         """All vertices owned by ``worker`` (sorted)."""
         return np.nonzero(self._owner == worker)[0]

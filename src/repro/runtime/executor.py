@@ -36,14 +36,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..bsp.message import Message, MessageStore
+from ..bsp.message import GpsiBatch, Message, MessageStore, PackedWorkerBatch
 from ..bsp.vertex_program import ComputeContext, VertexProgram
 from ..graph.graph import Graph
 from ..graph.partition import Partition
 from ..obs.tracer import NULL_TRACER
 
 # One logical worker's superstep input: (vertex, delivered payloads) in
-# delivery order.  Superstep 0 delivers empty payload lists.
+# delivery order.  Superstep 0 delivers empty payload lists.  Under the
+# columnar wire plane the engine hands over a still-packed
+# ``PackedWorkerBatch`` instead; the kernel materialises it on the
+# executing worker, so packed buffers — not per-message objects — are
+# what crosses any process boundary.
 WorkerBatch = List[Tuple[int, List[Any]]]
 
 
@@ -60,6 +64,10 @@ class JobSpec:
     #: pool configuration, shared-memory export sizes); defaults to the
     #: no-op tracer so executors emit unconditionally behind one flag.
     tracer: Any = NULL_TRACER
+    #: Wire plane for outbound messages: ``"object"`` (per-payload Python
+    #: objects, the generic reference) or ``"columnar"`` (packed Gpsi
+    #: buffers; see :mod:`repro.bsp.message`).
+    wire: str = "object"
 
 
 @dataclass
@@ -75,7 +83,9 @@ class WorkerStepResult:
     """
 
     worker_id: int
-    outbox: List[Tuple[int, List[Any]]]
+    #: ``(dest, payloads)`` pairs under the object wire plane, a packed
+    #: :class:`~repro.bsp.message.GpsiBatch` under the columnar one.
+    outbox: Any
     messages_sent: int
     inbound: List[int]
     compute_calls: int
@@ -84,6 +94,9 @@ class WorkerStepResult:
     agg_contribs: Optional[Dict[str, Any]] = None
     state_delta: Any = None
     worker_state: Optional[Dict[str, Any]] = None
+    #: Exact bytes of the packed outbox buffers (columnar plane only;
+    #: ``None`` when the object plane's size is payload-dependent).
+    wire_bytes: Optional[int] = None
 
 
 class WorkerAggregators:
@@ -136,6 +149,7 @@ def run_worker_batch(
     aggregators: Any,
     combiner: Any,
     collect_delta: bool,
+    wire: str = "object",
 ) -> WorkerStepResult:
     """Run one logical worker's compute batch and collect its effects.
 
@@ -143,7 +157,17 @@ def run_worker_batch(
     runtime reduces to this function being deterministic given the same
     batch and worker state, which it is: vertices run in batch order and
     all side effects accumulate locally in program order.
+
+    Under the columnar wire plane the kernel is also where both packed
+    endpoints live: a :class:`~repro.bsp.message.PackedWorkerBatch` input
+    is materialised here (batch decode, the only Gpsi construction in
+    the whole shuffle) and the outbox is packed into a
+    :class:`~repro.bsp.message.GpsiBatch` before it travels back — on
+    the process backend both directions therefore cross the pool
+    boundary as a handful of numpy buffers.
     """
+    if isinstance(batch, PackedWorkerBatch):
+        batch = batch.materialize()
     local_outbox = MessageStore(combiner)
     inbound = [0] * num_workers
     outputs: List[Any] = []
@@ -173,9 +197,17 @@ def run_worker_batch(
         compute_calls += 1
         program.compute(ctx, payloads)
 
+    if wire == "columnar":
+        outbox = GpsiBatch.pack(local_outbox.as_batch())
+        wire_bytes = outbox.nbytes
+    else:
+        outbox = local_outbox.as_batch()
+        wire_bytes = None
+
     return WorkerStepResult(
         worker_id=worker_id,
-        outbox=local_outbox.as_batch(),
+        outbox=outbox,
+        wire_bytes=wire_bytes,
         messages_sent=acc["sent"],
         inbound=inbound,
         compute_calls=compute_calls,

@@ -53,6 +53,7 @@ _child_graph: Optional[AttachedSharedGraph] = None
 _child_program: Any = None
 _child_partition: Any = None
 _child_num_workers: int = 0
+_child_wire: str = "object"
 
 
 def _init_child(
@@ -60,13 +61,16 @@ def _init_child(
     program_bytes: bytes,
     partition: Any,
     num_workers: int,
+    wire: str,
 ) -> None:
     global _child_graph, _child_program, _child_partition, _child_num_workers
+    global _child_wire
     _child_graph = attach_shared_graph(handle)
     _child_program = pickle.loads(program_bytes)
     _child_program.bind_shared(_child_graph.graph, _child_graph.aux)
     _child_partition = partition
     _child_num_workers = num_workers
+    _child_wire = wire
 
 
 def _run_child_batch(
@@ -74,8 +78,11 @@ def _run_child_batch(
     superstep: int,
     batch: WorkerBatch,
     worker_state: Dict[str, Any],
-    snapshot: Dict[str, Any],
+    snapshot_bytes: bytes,
 ) -> WorkerStepResult:
+    # The driver pickles the aggregator snapshot once per superstep (not
+    # once per submitted worker); each child unpickles its copy locally.
+    snapshot = pickle.loads(snapshot_bytes)
     shim = WorkerAggregators(fresh_aggregators(_child_program), snapshot)
     result = run_worker_batch(
         program=_child_program,
@@ -89,6 +96,7 @@ def _run_child_batch(
         aggregators=shim,
         combiner=_child_program.message_combiner(),
         collect_delta=True,
+        wire=_child_wire,
     )
     # The state dict was mutated in place; ship it back so the logical
     # worker can land on a different pool process next superstep.
@@ -152,6 +160,7 @@ class ProcessExecutor(SuperstepExecutor):
                     program_bytes,
                     spec.partition,
                     spec.num_workers,
+                    spec.wire,
                 ),
             )
         except Exception:
@@ -172,7 +181,7 @@ class ProcessExecutor(SuperstepExecutor):
     def run_superstep(
         self, superstep: int, batches: List[WorkerBatch], registry: Any
     ) -> List[WorkerStepResult]:
-        snapshot = registry.snapshot()
+        snapshot_bytes = pickle.dumps(registry.snapshot())
         futures = [
             self._pool.submit(
                 _run_child_batch,
@@ -180,7 +189,7 @@ class ProcessExecutor(SuperstepExecutor):
                 superstep,
                 batch,
                 self._states[worker_id],
-                snapshot,
+                snapshot_bytes,
             )
             for worker_id, batch in enumerate(batches)
             if batch

@@ -58,6 +58,7 @@ class SerialExecutor(SuperstepExecutor):
                     aggregators=registry,
                     combiner=self._combiner,
                     collect_delta=False,
+                    wire=spec.wire,
                 )
             )
         return results

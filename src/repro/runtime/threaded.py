@@ -95,6 +95,7 @@ class ThreadExecutor(SuperstepExecutor):
                 aggregators=shim,
                 combiner=program.message_combiner(),
                 collect_delta=True,
+                wire=spec.wire,
             )
 
         futures = [

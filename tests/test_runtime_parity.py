@@ -9,7 +9,9 @@ lets every simulator-era result stand on the real runtime.
 
 import pytest
 
+from repro.bsp import BSPEngine, VertexProgram, sum_aggregator
 from repro.core import PSgL
+from repro.graph import hash_partition
 from repro.graph.generators import chung_lu_power_law, erdos_renyi
 from repro.pattern import paper_patterns
 
@@ -79,6 +81,60 @@ def test_process_backend_respects_strategy_determinism():
         assert sorted(process.instances) == sorted(serial.instances)
         assert process.total_gpsis == serial.total_gpsis
         assert process.makespan == serial.makespan
+
+
+class SnapshotEcho(VertexProgram):
+    """Emits what each vertex *sees* through the per-superstep aggregator
+    snapshot, so any skew in how the snapshot reaches pool processes —
+    staleness, per-worker divergence — changes the outputs, not just the
+    final aggregate."""
+
+    def __init__(self, rounds=3):
+        self.rounds = rounds
+
+    def compute(self, ctx, messages):
+        if ctx.superstep:
+            ctx.emit((ctx.vertex, ctx.superstep, ctx.aggregated("activity")))
+        ctx.aggregate("activity", 1 + len(messages))
+        if ctx.superstep < self.rounds:
+            for u in ctx.graph.neighbors(ctx.vertex):
+                ctx.send(int(u), ctx.vertex)
+
+    def aggregators(self):
+        return {"activity": sum_aggregator(0)}
+
+
+def test_aggregator_snapshot_parity_on_process_backend():
+    graph = GRAPHS["er"]
+    runs = {}
+    for backend in ("serial", "process"):
+        engine = BSPEngine(
+            graph, hash_partition(graph.num_vertices, 4), backend=backend, procs=2
+        )
+        result = engine.run(SnapshotEcho(rounds=3))
+        runs[backend] = (result.outputs, result.aggregated)
+    assert runs["process"] == runs["serial"]
+
+
+def test_snapshot_pickled_once_per_superstep(monkeypatch):
+    """The driver must snapshot the aggregator registry once per
+    superstep, not once per submitted worker batch."""
+    from repro.bsp.aggregate import AggregatorRegistry
+
+    calls = []
+    original = AggregatorRegistry.snapshot
+
+    def counting_snapshot(self):
+        calls.append(1)
+        return original(self)
+
+    monkeypatch.setattr(AggregatorRegistry, "snapshot", counting_snapshot)
+    graph = GRAPHS["er"]
+    engine = BSPEngine(
+        graph, hash_partition(graph.num_vertices, 4), backend="process", procs=2
+    )
+    result = engine.run(SnapshotEcho(rounds=3))
+    assert len(calls) == result.supersteps
 
 
 def test_per_vertex_counts_and_message_bytes_parity():

@@ -1,0 +1,294 @@
+"""Columnar wire plane: store semantics and object-plane parity.
+
+The columnar plane may change *how* bytes cross the BSP barrier — packed
+struct-of-arrays buffers instead of per-message pickled objects — but
+never *what* is delivered.  These tests pin the equivalence at both
+levels: the store surface (destinations / take / len) message-for-message
+against :class:`MessageStore`, and end-to-end listing runs
+ledger-for-ledger against the object-plane serial reference on every
+paper pattern and every backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bsp import (
+    BSPEngine,
+    ColumnarMessageStore,
+    GpsiBatch,
+    Message,
+    MessageStore,
+    PackedWorkerBatch,
+    VertexProgram,
+)
+from repro.core import Gpsi, PSgL, UNMAPPED
+from repro.exceptions import EngineError
+from repro.graph import Graph, hash_partition
+from repro.graph.generators import chung_lu_power_law, erdos_renyi
+from repro.pattern import paper_patterns
+from repro.runtime import ProcessExecutor
+
+
+def g(i, nxt=1):
+    """A distinct 3-vertex Gpsi keyed by ``i``."""
+    return Gpsi((i, UNMAPPED, i + 100), 0b001, nxt)
+
+
+def outboxes():
+    """Two workers' outboxes with interleaved destinations (as_batch form)."""
+    w0, w1 = MessageStore(), MessageStore()
+    w0.add(Message(5, g(0)))
+    w0.add(Message(2, g(1)))
+    w0.add(Message(5, g(2)))
+    w1.add(Message(2, g(3)))
+    w1.add(Message(9, g(4)))
+    w1.add(Message(5, g(5)))
+    return w0.as_batch(), w1.as_batch()
+
+
+def both_stores():
+    """The same two outboxes merged into each plane's store."""
+    b0, b1 = outboxes()
+    obj = MessageStore()
+    obj.merge_batch(b0)
+    obj.merge_batch(b1)
+    col = ColumnarMessageStore()
+    col.merge_batch(GpsiBatch.pack(b0))
+    col.merge_batch(GpsiBatch.pack(b1))
+    return obj, col
+
+
+class TestStoreSemantics:
+    def test_destinations_first_send_order(self):
+        obj, col = both_stores()
+        assert col.destinations() == obj.destinations() == [5, 2, 9]
+
+    def test_take_matches_object_plane(self):
+        obj, col = both_stores()
+        for vertex in (5, 2, 9):
+            assert col.take(vertex) == obj.take(vertex)
+        assert col.take(777) == [] == obj.take(777)
+
+    def test_len_matches_delivered_payloads(self):
+        """Satellite regression: ``len(store)`` must equal the number of
+        payloads ``take`` can still deliver, on both planes, through the
+        whole merge/deliver cycle."""
+        obj, col = both_stores()
+        assert len(obj) == len(col) == 6
+        for store in (obj, col):
+            remaining = 6
+            for vertex in (5, 2, 9):
+                remaining -= len(store.take(vertex))
+                assert len(store) == remaining
+            assert len(store) == 0 and not store
+
+    def test_merge_batch_ignores_empty_slots(self):
+        """An empty payload list must not activate a vertex or skew the
+        count — on either plane."""
+        obj = MessageStore()
+        obj.merge_batch([(5, [])])
+        assert len(obj) == 0 and obj.destinations() == [] and not obj
+        col = ColumnarMessageStore()
+        col.merge_batch(GpsiBatch.pack([(5, [])]))
+        assert len(col) == 0 and col.destinations() == [] and not col
+
+    def test_combiner_fold_matches_live_adds(self):
+        combine = lambda a, b: a + b  # noqa: E731
+        merged = MessageStore(combine)
+        merged.merge_batch([(3, [1, 2]), (4, [10])])
+        merged.merge_batch([(3, [4])])
+        assert len(merged) == 2  # one deliverable payload per destination
+        assert merged.take(3) == [7]
+        assert merged.take(4) == [10]
+        assert len(merged) == 0
+
+    def test_pack_rejects_non_gpsi_payloads(self):
+        with pytest.raises(TypeError, match="wire='object'"):
+            GpsiBatch.pack([(0, [42])])
+
+    def test_pack_empty_outbox(self):
+        batch = GpsiBatch.pack([])
+        assert len(batch) == 0 and batch.nbytes == 0
+
+    def test_build_worker_batches_matches_object_plane(self):
+        obj, col = both_stores()
+        owner_of = np.zeros(10, dtype=np.int64)
+        owner_of[5] = 1  # v5 on worker 1; v2, v9 on worker 0
+        batches = col.build_worker_batches(owner_of, 3)
+        assert batches[2] == []  # no messages -> falsy batch
+        assert isinstance(batches[0], PackedWorkerBatch)
+        # The packed batches materialise to exactly the object plane's
+        # per-worker (vertex, payloads) batches, activation order intact.
+        expected = [[], [], []]
+        for v in obj.destinations():
+            expected[int(owner_of[v])].append((v, None))
+        for w in (0, 1):
+            materialized = batches[w].materialize()
+            assert [v for v, _ in materialized] == [v for v, _ in expected[w]]
+            for vertex, payloads in materialized:
+                assert payloads == obj.take(vertex)
+
+    def test_batch_nbytes_is_exact_buffer_size(self):
+        b0, _ = outboxes()
+        batch = GpsiBatch.pack(b0)
+        assert batch.nbytes == (
+            batch.dest.nbytes + batch.columns.nbytes
+        )
+        assert batch.nbytes == len(batch) * (8 + 8 * 3 + 4 + 1)
+
+
+GRAPHS = {
+    "er": erdos_renyi(28, 0.25, seed=13),
+    "powerlaw": chung_lu_power_law(30, gamma=2.5, avg_degree=4, seed=5),
+}
+
+
+def run_listing(graph, pattern, backend, wire, procs=None):
+    driver = PSgL(
+        graph,
+        num_workers=4,
+        strategy="WA,0.5",
+        seed=3,
+        backend=backend,
+        procs=procs,
+        wire=wire,
+    )
+    return driver.run(pattern, collect_instances=True)
+
+
+def assert_plane_parity(reference, other):
+    """Byte-identical observable outputs: counts, instances, ledgers and
+    supersteps (wire_bytes excepted — it is a plane-specific diagnostic)."""
+    assert other.count == reference.count
+    assert sorted(other.instances) == sorted(reference.instances)
+    assert other.supersteps == reference.supersteps
+    assert other.gpsi_by_vertex == reference.gpsi_by_vertex
+    assert other.index_queries == reference.index_queries
+    assert other.index_pruned == reference.index_pruned
+    for step_ref, step_other in zip(reference.ledger.steps, other.ledger.steps):
+        assert step_other.worker_compute_calls == step_ref.worker_compute_calls
+        assert step_other.worker_messages == step_ref.worker_messages
+        assert step_other.worker_cost == step_ref.worker_cost
+    assert other.ledger.peak_live_messages == reference.ledger.peak_live_messages
+
+
+class TestPlaneParity:
+    @pytest.mark.parametrize("pattern_name", sorted(paper_patterns()))
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_columnar_matches_object_reference(self, backend, pattern_name):
+        graph = GRAPHS["er"]
+        pattern = paper_patterns()[pattern_name]
+        reference = run_listing(graph, pattern, "serial", "object")
+        columnar = run_listing(
+            graph, pattern, backend, "columnar", procs=2 if backend != "serial" else None
+        )
+        assert_plane_parity(reference, columnar)
+
+    @pytest.mark.parametrize("pattern_name", ["PG1", "PG3"])
+    def test_thread_backend_columnar(self, pattern_name):
+        graph = GRAPHS["powerlaw"]
+        pattern = paper_patterns()[pattern_name]
+        reference = run_listing(graph, pattern, "serial", "object")
+        columnar = run_listing(graph, pattern, "thread", "columnar", procs=3)
+        assert_plane_parity(reference, columnar)
+
+    def test_trace_worker_totals_identical(self):
+        """A traced columnar run records the same per-worker cost totals
+        and summary as the traced object reference (the plane-specific
+        barrier ``wire_bytes`` field rides alongside, changing nothing)."""
+        from repro.obs import Tracer
+
+        graph = GRAPHS["er"]
+        pattern = paper_patterns()["PG2"]
+        tracers = {}
+        for wire in ("object", "columnar"):
+            tracer = Tracer()
+            PSgL(graph, num_workers=4, seed=3, wire=wire, trace=tracer).run(pattern)
+            tracers[wire] = tracer
+        assert (
+            tracers["columnar"].worker_totals() == tracers["object"].worker_totals()
+        )
+        assert tracers["columnar"].summary() == tracers["object"].summary()
+
+    def test_message_bytes_accounting_identical(self):
+        """The canonical (scalar-codec) message-volume metric must not
+        depend on the plane the bytes physically crossed on."""
+        graph = GRAPHS["powerlaw"]
+        pattern = paper_patterns()["PG2"]
+        kwargs = dict(track_message_bytes=True, count_per_vertex=True)
+        obj = PSgL(graph, num_workers=3, seed=1, wire="object").run(pattern, **kwargs)
+        col = PSgL(graph, num_workers=3, seed=1, wire="columnar").run(pattern, **kwargs)
+        assert col.message_bytes == obj.message_bytes
+        assert col.per_vertex_counts == obj.per_vertex_counts
+
+
+class TestWireBytesMetric:
+    def test_columnar_ledger_reports_exact_bytes(self):
+        graph = GRAPHS["er"]
+        pattern = paper_patterns()["PG2"]
+        col = run_listing(graph, pattern, "serial", "columnar")
+        total = col.ledger.total_wire_bytes()
+        assert total > 0
+        per_step = [
+            sum(step.worker_wire_bytes)
+            for step in col.ledger.steps
+            if step.worker_wire_bytes is not None
+        ]
+        assert sum(per_step) == total
+
+    def test_object_plane_reports_none(self):
+        graph = GRAPHS["er"]
+        obj = run_listing(graph, paper_patterns()["PG1"], "serial", "object")
+        assert obj.ledger.total_wire_bytes() == 0
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_wire_bytes_identical_across_backends(self, backend):
+        """Logical workers pack the same outboxes wherever they run, so
+        the exact wire-byte ledger is backend-invariant."""
+        graph = GRAPHS["er"]
+        pattern = paper_patterns()["PG2"]
+        serial = run_listing(graph, pattern, "serial", "columnar")
+        parallel = run_listing(graph, pattern, backend, "columnar", procs=2)
+        for step_ref, step_other in zip(serial.ledger.steps, parallel.ledger.steps):
+            assert step_other.worker_wire_bytes == step_ref.worker_wire_bytes
+        assert parallel.ledger.total_wire_bytes() == serial.ledger.total_wire_bytes()
+
+
+class TestEngineGuards:
+    def test_unknown_wire_plane_rejected(self):
+        graph = Graph(4, [(0, 1), (1, 2)])
+        with pytest.raises(EngineError, match="wire plane"):
+            BSPEngine(graph, hash_partition(4, 2), wire="quantum")
+
+    def test_columnar_refuses_combiner_programs(self):
+        class Summing(VertexProgram):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.send(ctx.vertex, 1)
+
+            def message_combiner(self):
+                return lambda a, b: a + b
+
+        graph = Graph(4, [(0, 1), (1, 2)])
+        engine = BSPEngine(graph, hash_partition(4, 2), wire="columnar")
+        with pytest.raises(EngineError, match="combiner"):
+            engine.run(Summing())
+
+
+class TestSpawnStartMethod:
+    def test_process_parity_under_spawn(self):
+        """The packed buffers must survive a spawn-fresh interpreter (no
+        inherited module state, everything crossing by pickle)."""
+        graph = GRAPHS["er"]
+        pattern = paper_patterns()["PG1"]
+        reference = run_listing(graph, pattern, "serial", "object")
+        executor = ProcessExecutor(procs=2, start_method="spawn")
+        columnar = PSgL(
+            graph,
+            num_workers=4,
+            strategy="WA,0.5",
+            seed=3,
+            backend=executor,
+            wire="columnar",
+        ).run(pattern, collect_instances=True)
+        assert_plane_parity(reference, columnar)
