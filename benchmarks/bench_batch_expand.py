@@ -1,0 +1,330 @@
+"""Batched expansion kernel benchmark: object path vs. columnar kernel.
+
+Measures the work the kernel actually replaces — Algorithm 1 itself —
+on real delivered slices from an R-MAT graph:
+
+* **expand microbench**: drive two expansion supersteps, collect every
+  ``(data vertex, delivered Gpsis)`` work item, then time the scalar
+  reference (:func:`repro.core.expansion.expand_gpsi` once per Gpsi on
+  pre-materialised objects) against the kernel
+  (:func:`repro.core.batch_expand.expand_columns` once per pre-packed
+  slice).  Every slice's outcome is asserted identical — instances,
+  cost, generated counts, probe statistics — so the timings compare the
+  exact same work.  The headline metric is ``us/gpsi`` per path and the
+  ``expand_speedup`` ratio (the acceptance target is >= 3x on PG1/PG2);
+* **end to end**: whole listing jobs on the serial and process backends
+  under ``wire="columnar"`` with the kernel on (default) and pinned off
+  (``batch_expand=False``), asserting instance counts, the ``found``
+  aggregator total and per-worker cost-ledger totals bit-identical.
+
+The JSON record lands in ``results/BENCH_batch_expand.json``.  Full size
+(the ~122k-edge scale-15 R-MAT the other runtime benchmarks use)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_expand.py
+
+CI-friendly smoke run (small graph, serial end-to-end only, separate
+output file, same parity assertions)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_expand.py --smoke
+
+Environment knobs: ``PSGL_BENCH_RMAT_SCALE`` (log2 vertices, default 15
+for the full run), ``PSGL_BENCH_RMAT_DEG`` (average degree, default 8),
+``PSGL_BENCH_PROCS`` (workers, default 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.core import Gpsi, PSgL, expand_columns, expand_gpsi, pack_gpsis
+from repro.core.edge_index import BloomEdgeIndex
+from repro.core.init_vertex import select_initial_vertex
+from repro.graph import OrderedGraph
+from repro.graph.generators import rmat
+from repro.pattern import paper_patterns
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_batch_expand.json"
+SMOKE_RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_batch_expand_smoke.json"
+)
+
+DEFAULT_SCALE = int(os.environ.get("PSGL_BENCH_RMAT_SCALE", "15"))
+DEFAULT_DEG = float(os.environ.get("PSGL_BENCH_RMAT_DEG", "8"))
+DEFAULT_PROCS = int(os.environ.get("PSGL_BENCH_PROCS", "4"))
+
+
+def collect_work_items(graph, pattern, ordered, index, max_messages):
+    """Two supersteps' worth of real ``(vertex, delivered Gpsis)`` items.
+
+    Superstep-1 items carry the uniform post-init colouring; routing each
+    child at its first useful GRAY produces superstep-2 items with the
+    mixed ``(black, next)`` signatures the kernel groups by — the same
+    slice shapes a live run delivers.
+    """
+    init_vp = select_initial_vertex(pattern, graph)
+    eligible = np.flatnonzero(graph.degrees >= pattern.degree(init_vp))
+    frontier = [
+        (int(vd), Gpsi.initial(pattern, init_vp, int(vd))) for vd in eligible
+    ]
+    items = []
+    total = 0
+    for rnd in range(2):
+        by_dest = {}
+        for vd, g in frontier:
+            by_dest.setdefault(vd, []).append(g)
+        frontier = []
+        for vd, gpsis in by_dest.items():
+            if total >= max_messages:
+                break
+            items.append((vd, gpsis))
+            total += len(gpsis)
+            if rnd == 1:
+                continue  # the last round's children are never consumed
+            for g in gpsis:
+                for child in expand_gpsi(g, pattern, ordered, index).pending:
+                    grays = child.useful_grays(pattern)
+                    if grays:
+                        nxt = grays[0]
+                        frontier.append(
+                            (child.mapping[nxt], child.with_next(nxt))
+                        )
+    index.reset_statistics()
+    return items, total
+
+
+def bench_expand(graph, pattern_name, max_messages, rounds, seed):
+    """Time the scalar path vs. the kernel over identical work items."""
+    pattern = paper_patterns()[pattern_name]
+    ordered = OrderedGraph(graph)
+    index = BloomEdgeIndex(graph, fp_rate=0.01, seed=seed)
+    items, total = collect_work_items(
+        graph, pattern, ordered, index, max_messages
+    )
+    packed = [(vd, pack_gpsis(gpsis)) for vd, gpsis in items]
+
+    # Parity first (un-timed): every slice must expand identically.
+    for (vd, gpsis), (_, columns) in zip(items, packed):
+        scalar_complete, scalar_cost, scalar_generated = [], 0.0, 0
+        for g in gpsis:
+            out = expand_gpsi(g, pattern, ordered, index)
+            scalar_complete.extend(out.complete)
+            scalar_cost += out.cost
+            scalar_generated += out.generated
+        scalar_queries = index.queries
+        index.reset_statistics()
+        batch = expand_columns(columns, vd, pattern, ordered, index)
+        got = (
+            [] if batch.complete is None
+            else [tuple(r) for r in batch.complete.tolist()]
+        )
+        assert got == scalar_complete, "kernel diverged from scalar path"
+        assert batch.cost == scalar_cost
+        assert batch.generated == scalar_generated
+        assert index.queries == scalar_queries
+        index.reset_statistics()
+
+    timings = {}
+    for name in ("object", "kernel"):
+        best = float("inf")
+        for _ in range(rounds):
+            index.reset_statistics()
+            t0 = perf_counter()
+            if name == "object":
+                for vd, gpsis in items:
+                    for g in gpsis:
+                        expand_gpsi(g, pattern, ordered, index)
+            else:
+                for vd, columns in packed:
+                    expand_columns(columns, vd, pattern, ordered, index)
+            best = min(best, perf_counter() - t0)
+        timings[name] = {
+            "seconds": round(best, 4),
+            "us_per_gpsi": round(best / total * 1e6, 3),
+        }
+    return {
+        "pattern": pattern_name,
+        "gpsis": total,
+        "slices": len(items),
+        "rounds": rounds,
+        "object": timings["object"],
+        "kernel": timings["kernel"],
+        "expand_speedup": round(
+            timings["object"]["seconds"] / timings["kernel"]["seconds"], 2
+        )
+        if timings["kernel"]["seconds"]
+        else None,
+    }
+
+
+def bench_end_to_end(graph, pattern_name, procs, seed, backends):
+    """Whole columnar listings, kernel on vs. pinned off; parity asserted
+    on the count (= the ``found`` aggregator total), the makespan and the
+    per-worker cost-ledger totals."""
+    pattern = paper_patterns()[pattern_name]
+    runs = {}
+    reference_totals = None
+    for backend in backends:
+        for kernel in (False, True):
+            started = perf_counter()
+            result = PSgL(
+                graph,
+                num_workers=procs,
+                backend=backend,
+                procs=procs,
+                seed=seed,
+                wire="columnar",
+                batch_expand=kernel,
+            ).run(pattern)
+            key = f"{backend}/{'kernel' if kernel else 'object'}"
+            runs[key] = {
+                "wall_seconds": round(perf_counter() - started, 4),
+                "count": result.count,
+                "makespan": result.makespan,
+                "gpsis": result.total_gpsis,
+            }
+            totals = (result.count, result.makespan, result.worker_costs)
+            if reference_totals is None:
+                reference_totals = totals
+            else:
+                assert totals == reference_totals, (key, totals)
+    for backend in backends:
+        obj = runs[f"{backend}/object"]["wall_seconds"]
+        ker = runs[f"{backend}/kernel"]["wall_seconds"]
+        runs[f"{backend}/wall_speedup"] = round(obj / ker, 2) if ker else None
+    return {
+        "pattern": pattern_name,
+        "count": reference_totals[0],
+        "runs": runs,
+    }
+
+
+def run_benchmark(
+    scale=DEFAULT_SCALE,
+    avg_degree=DEFAULT_DEG,
+    procs=DEFAULT_PROCS,
+    seed=1,
+    max_messages=250_000,
+    rounds=2,
+    end_to_end_backends=("serial", "process"),
+    out_path=RESULTS_PATH,
+):
+    graph = rmat(scale, avg_degree=avg_degree, seed=seed)
+    # Square listings explode combinatorially at scale 15; the PG2
+    # end-to-end leg caps its graph at scale 12 (the runtime benchmark's
+    # default) and the JSON records the scale actually used.
+    pg2_scale = min(scale, 12)
+    pg2_graph = (
+        graph
+        if pg2_scale == scale
+        else rmat(pg2_scale, avg_degree=avg_degree, seed=seed)
+    )
+    record = {
+        "benchmark": "batch_expand",
+        "graph": {
+            "family": "rmat",
+            "scale": scale,
+            "avg_degree": avg_degree,
+            "seed": seed,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "expand": {
+            name: bench_expand(graph, name, max_messages, rounds, seed)
+            for name in ("PG1", "PG2")
+        },
+        "end_to_end": {
+            "PG1": {
+                "scale": scale,
+                **bench_end_to_end(
+                    graph, "PG1", procs, seed, end_to_end_backends
+                ),
+            },
+            "PG2": {
+                "scale": pg2_scale,
+                **bench_end_to_end(
+                    pg2_graph, "PG2", procs, seed, end_to_end_backends
+                ),
+            },
+        },
+    }
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--avg-degree", type=float, default=DEFAULT_DEG)
+    parser.add_argument("--procs", type=int, default=DEFAULT_PROCS)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small graph, serial end-to-end only, separate output file",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        record = run_benchmark(
+            scale=args.scale or 10,
+            avg_degree=args.avg_degree,
+            procs=args.procs,
+            seed=args.seed,
+            max_messages=10_000,
+            rounds=args.rounds or 1,
+            end_to_end_backends=("serial",),
+            out_path=args.out or SMOKE_RESULTS_PATH,
+        )
+        out = args.out or SMOKE_RESULTS_PATH
+    else:
+        record = run_benchmark(
+            scale=args.scale or DEFAULT_SCALE,
+            avg_degree=args.avg_degree,
+            procs=args.procs,
+            seed=args.seed,
+            rounds=args.rounds or 2,
+            out_path=args.out or RESULTS_PATH,
+        )
+        out = args.out or RESULTS_PATH
+
+    graph = record["graph"]
+    print(
+        f"rmat scale={graph['scale']} |V|={graph['vertices']:,} "
+        f"|E|={graph['edges']:,}"
+    )
+    for name, stats in record["expand"].items():
+        print(
+            f"  {name} expand ({stats['gpsis']:,} gpsis, "
+            f"{stats['slices']:,} slices): "
+            f"{stats['object']['us_per_gpsi']:.2f} -> "
+            f"{stats['kernel']['us_per_gpsi']:.2f} us/gpsi "
+            f"({stats['expand_speedup']}x)"
+        )
+    for name, stats in record["end_to_end"].items():
+        line = ", ".join(
+            f"{key} {run['wall_seconds']:.2f}s"
+            for key, run in stats["runs"].items()
+            if isinstance(run, dict)
+        )
+        print(f"  {name} end-to-end (count={stats['count']:,}): {line}")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ from .aggregate import (
 from .engine import BSPEngine, BSPResult, WIRE_PLANES
 from .message import (
     ColumnarMessageStore,
+    ColumnarOutbox,
     GpsiBatch,
     Message,
     MessageStore,
@@ -29,6 +30,7 @@ __all__ = [
     "BSPResult",
     "WIRE_PLANES",
     "ColumnarMessageStore",
+    "ColumnarOutbox",
     "GpsiBatch",
     "Message",
     "MessageStore",

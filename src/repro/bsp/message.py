@@ -207,6 +207,59 @@ class GpsiBatch:
         return len(self.dest)
 
 
+class ColumnarOutbox:
+    """A worker outbox that accumulates packed Gpsi chunks directly.
+
+    The batch-expansion path sends whole child batches per compute call
+    (``ctx.send_columns``), so the outbox is a list of ``(dest, columns)``
+    chunk pairs instead of a per-message dict.  ``to_batch`` concatenates
+    them into one :class:`GpsiBatch` in send order — every downstream
+    consumer (:meth:`ColumnarMessageStore.destinations`,
+    :meth:`ColumnarMessageStore.build_worker_batches`, ``take``) groups
+    rows stably by first occurrence, so send-order rows and the object
+    plane's ``as_batch``-grouped rows deliver identically.
+    """
+
+    __slots__ = ("_dest_chunks", "_col_chunks", "_count")
+
+    def __init__(self):
+        self._dest_chunks: List[np.ndarray] = []
+        self._col_chunks: List[Any] = []
+        self._count = 0
+
+    def append(self, dest: np.ndarray, columns: Any) -> None:
+        """Queue one packed chunk: row ``i`` of ``columns`` goes to data
+        vertex ``dest[i]``."""
+        n = len(columns)
+        if n == 0:
+            return
+        self._dest_chunks.append(np.asarray(dest, dtype=np.int64))
+        self._col_chunks.append(columns)
+        self._count += n
+
+    def append_message(self, message: Message) -> None:
+        """Queue one scalar :class:`Message` (a single-row chunk) — keeps
+        ``ctx.send`` functional inside a columnar compute batch."""
+        psi = _psi()
+        self.append(
+            np.array([message.dest], dtype=np.int64),
+            psi.pack_gpsis([message.payload]),
+        )
+
+    def to_batch(self) -> "GpsiBatch":
+        """Everything queued, as one packed batch in send order."""
+        psi = _psi()
+        if not self._col_chunks:
+            return GpsiBatch(np.empty(0, dtype=np.int64), psi.GpsiColumns.empty(0))
+        return GpsiBatch(
+            np.concatenate(self._dest_chunks),
+            psi.GpsiColumns.concat(self._col_chunks),
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+
 class PackedWorkerBatch:
     """One logical worker's superstep input, still in packed form.
 

@@ -31,6 +31,7 @@ class ComputeContext:
         "vertex",
         "worker_state",
         "_send",
+        "_send_columns",
         "_add_cost",
         "_emit",
         "_aggregators",
@@ -46,6 +47,7 @@ class ComputeContext:
         add_cost: Callable[[float], None],
         emit: Callable[[Any], None],
         aggregators: Optional["AggregatorRegistry"] = None,
+        send_columns: Optional[Callable[[Any, Any], None]] = None,
     ):
         self.graph = graph
         self.superstep = superstep
@@ -53,6 +55,7 @@ class ComputeContext:
         self.vertex: int = -1
         self.worker_state = worker_state
         self._send = send
+        self._send_columns = send_columns
         self._add_cost = add_cost
         self._emit = emit
         self._aggregators = aggregators
@@ -60,6 +63,19 @@ class ComputeContext:
     def send(self, dest: int, payload: Any) -> None:
         """Send ``payload`` to data vertex ``dest`` (delivered next superstep)."""
         self._send(Message(dest, payload))
+
+    def send_columns(self, dest: Any, columns: Any) -> None:
+        """Bulk-send a packed Gpsi batch: row ``i`` of ``columns`` goes to
+        data vertex ``dest[i]``.  Only wired up when the worker runs a
+        columnar compute batch (see :mod:`repro.core.batch_expand`); the
+        rows flow straight into the packed outbox with no per-message
+        objects."""
+        if self._send_columns is None:
+            raise RuntimeError(
+                "send_columns is only available under the columnar wire "
+                "plane's batch compute path"
+            )
+        self._send_columns(dest, columns)
 
     def add_cost(self, units: float) -> None:
         """Charge ``units`` of simulated work to the executing worker."""
@@ -96,10 +112,27 @@ class VertexProgram:
     def pre_application(self, graph: Graph, num_workers: int) -> None:
         """One-time setup before superstep 0 (load shared read-only data)."""
 
+    #: Whether the program implements :meth:`compute_columns` and wants
+    #: packed batches delivered without materialising payload objects
+    #: (columnar wire plane only; see ``docs/perf.md``).
+    supports_columnar_compute: bool = False
+
     def compute(self, ctx: ComputeContext, messages: List[Any]) -> None:
         """Process one active vertex.  ``ctx.vertex`` is the vertex id;
         ``messages`` are the payloads delivered this superstep (empty at
         superstep 0)."""
+        raise NotImplementedError
+
+    def compute_columns(self, ctx: ComputeContext, columns: Any) -> None:
+        """Columnar twin of :meth:`compute`: process one active vertex
+        whose delivered payloads arrive as a packed
+        :class:`~repro.core.psi.GpsiColumns` slice instead of a list of
+        objects.  Called only when :attr:`supports_columnar_compute` is
+        set and the job runs on the columnar wire plane; superstep 0
+        (empty message lists) always goes through :meth:`compute`.
+        Implementations must produce exactly the observable effects of
+        ``compute`` on the equivalent message list — costs, aggregations,
+        sends — since the two paths are interchangeable per superstep."""
         raise NotImplementedError
 
     def post_application(self) -> None:

@@ -77,6 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "batch-packed Gpsi buffers (columnar; fastest with --backend "
         "process)",
     )
+    count.add_argument(
+        "--no-batch-expand",
+        action="store_true",
+        help="pin the scalar per-Gpsi expansion path even under "
+        "--wire columnar (reference/debugging; results are identical)",
+    )
     count.add_argument("--strategy", default="WA,0.5")
     count.add_argument("--scale", type=float, default=1.0)
     count.add_argument("--seed", type=int, default=0)
@@ -160,6 +166,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         backend=args.backend,
         procs=args.procs,
         wire=args.wire,
+        batch_expand=not args.no_batch_expand,
         trace=tracer,
     )
     initial = None if args.initial_vertex is None else args.initial_vertex - 1

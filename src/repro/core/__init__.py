@@ -1,5 +1,6 @@
 """PSgL core: the paper's primary contribution."""
 
+from .batch_expand import BatchOutcome, PendingChildren, expand_columns
 from .bloom import BloomFilter, optimal_parameters
 from .candidates import candidate_set, candidate_set_scalar, combination_consistent
 from .codec import (
@@ -49,6 +50,9 @@ from .listing import ListingResult, PSgL, PSgLProgram
 from .psi import Gpsi, GpsiColumns, UNMAPPED, pack_gpsis, unpack_gpsis
 
 __all__ = [
+    "BatchOutcome",
+    "PendingChildren",
+    "expand_columns",
     "BloomFilter",
     "optimal_parameters",
     "candidate_set",

@@ -63,6 +63,40 @@ class DistributionStrategy:
         """
         raise NotImplementedError
 
+    def choose_many(
+        self,
+        mapping: np.ndarray,
+        grays: List[tuple],
+        white_counts: List[tuple],
+        graph: Graph,
+        partition: Partition,
+        worker_state: Dict[str, Any],
+    ) -> np.ndarray:
+        """Vectorised :meth:`choose` over a batch of children.
+
+        ``mapping`` is the children's ``(n, k)`` data-vertex matrix,
+        ``grays[i]`` child ``i``'s useful GRAY vertices, and
+        ``white_counts[i][j]`` the number of WHITE pattern neighbours of
+        ``grays[i][j]`` (what the workload-aware estimator needs).
+        Returns one chosen GRAY vertex per child, as ``int64``.
+
+        Every strategy's batched form consumes the worker RNG / load view
+        in exactly the per-child order the scalar loop would, so a
+        columnar run reproduces the object path's routing bit for bit.
+        Custom strategies must implement this to run under the batch
+        kernel (or the driver must be built with ``batch_expand=False``).
+        """
+        raise NotImplementedError(
+            f"{self.name}: choose_many is not implemented; run with "
+            "batch_expand=False to route children one at a time"
+        )
+
+    def _require_gray_batches(self, grays: List[tuple]) -> None:
+        """Batched form of :meth:`_require_candidates`."""
+        for g in grays:
+            if not g:
+                self._require_candidates([])
+
     # ------------------------------------------------------------------
     def _require_candidates(self, candidates: List[int]) -> None:
         """Fail loudly on an empty candidate list.
@@ -103,6 +137,28 @@ class RandomStrategy(DistributionStrategy):
         rng = self._rng(worker_state)
         return candidates[int(rng.integers(len(candidates)))]
 
+    def choose_many(self, mapping, grays, white_counts, graph, partition, worker_state):
+        self._require_gray_batches(grays)
+        n = len(grays)
+        lens = np.fromiter((len(g) for g in grays), dtype=np.int64, count=n)
+        chosen = np.fromiter(
+            (g[0] for g in grays), dtype=np.int64, count=n
+        )
+        multi = np.flatnonzero(lens > 1)
+        if len(multi):
+            # One bulk draw over the multi-candidate children in child
+            # order: Generator.integers with an array of highs consumes
+            # the stream exactly like the equivalent sequence of scalar
+            # draws (single-candidate children skip the RNG, as above).
+            rng = self._rng(worker_state)
+            draws = rng.integers(lens[multi])
+            chosen[multi] = np.fromiter(
+                (grays[i][d] for i, d in zip(multi.tolist(), draws.tolist())),
+                dtype=np.int64,
+                count=len(multi),
+            )
+        return chosen
+
 
 class RouletteStrategy(DistributionStrategy):
     """Equation 6 roulette wheel: smaller-degree images expand more."""
@@ -123,6 +179,46 @@ class RouletteStrategy(DistributionStrategy):
                 return vp
             randnum -= weight
         return candidates[-1]
+
+    def choose_many(self, mapping, grays, white_counts, graph, partition, worker_state):
+        self._require_gray_batches(grays)
+        n = len(grays)
+        lens = np.fromiter((len(g) for g in grays), dtype=np.int64, count=n)
+        chosen = np.fromiter((g[0] for g in grays), dtype=np.int64, count=n)
+        multi = np.flatnonzero(lens > 1)
+        m = len(multi)
+        if m == 0:
+            return chosen
+        width = int(lens[multi].max())
+        # Ragged candidate/weight matrices, padded past each child's
+        # length; weights replicate the scalar loop's exact arithmetic
+        # (IEEE division, left-to-right total, sequential subtraction) so
+        # the selected wheel slot is bit-identical per child.
+        vps = np.zeros((m, width), dtype=np.int64)
+        valid = np.zeros((m, width), dtype=bool)
+        for r, i in enumerate(multi.tolist()):
+            g = grays[i]
+            vps[r, : len(g)] = g
+            valid[r, : len(g)] = True
+        images = mapping[multi[:, None], vps]
+        weights = 1.0 / np.maximum(graph.degrees[images], 1)
+        total = np.zeros(m)
+        for pos in range(width):
+            total = np.where(valid[:, pos], total + weights[:, pos], total)
+        rng = self._rng(worker_state)
+        remaining = rng.random(size=m) * total
+        pick = np.full(m, -1, dtype=np.int64)
+        for pos in range(width):
+            undecided = valid[:, pos] & (pick < 0)
+            hit = undecided & (remaining <= weights[:, pos])
+            pick[hit] = pos
+            remaining = np.where(
+                undecided & ~hit, remaining - weights[:, pos], remaining
+            )
+        fallback = pick < 0  # numerical leftovers take the last slot
+        pick[fallback] = lens[multi[fallback]] - 1
+        chosen[multi] = vps[np.arange(m), pick]
+        return chosen
 
 
 class WorkloadAwareStrategy(DistributionStrategy):
@@ -165,6 +261,54 @@ class WorkloadAwareStrategy(DistributionStrategy):
                 best_increase = increase
         load_view[best_worker] += best_increase
         return best_vp
+
+    def choose_many(self, mapping, grays, white_counts, graph, partition, worker_state):
+        self._require_gray_batches(grays)
+        load_view = worker_state.get("dist_load_view")
+        if load_view is None:
+            load_view = [0.0] * partition.num_workers
+            worker_state["dist_load_view"] = load_view
+        n = len(grays)
+        # The load view is sequentially dependent — child i's argmin sees
+        # the updates of children 0..i-1 — so the argmin itself stays a
+        # Python loop over pure floats (bit-identical to the scalar path).
+        # Everything else is hoisted out: owner targets come from one
+        # vectorised gather, and the C(deg, w) estimates are memoised per
+        # distinct (degree, white-count) pair, of which a superstep sees a
+        # handful across millions of children.
+        width = max((len(g) for g in grays), default=0)
+        vps = np.zeros((n, width), dtype=np.int64)
+        for i, g in enumerate(grays):
+            vps[i, : len(g)] = g
+        images = mapping[np.arange(n)[:, None], vps]
+        targets = partition.owner_array[images].tolist()
+        image_degrees = graph.degrees[images].tolist()
+        estimate_cache: Dict[tuple, float] = {}
+        alpha = self.alpha
+        chosen = np.empty(n, dtype=np.int64)
+        for i, g in enumerate(grays):
+            row_targets = targets[i]
+            row_degrees = image_degrees[i]
+            row_whites = white_counts[i]
+            best_vp = -1
+            best_worker = -1
+            best_score = float("inf")
+            best_increase = 0.0
+            for j, vp in enumerate(g):
+                key = (row_degrees[j], row_whites[j])
+                increase = estimate_cache.get(key)
+                if increase is None:
+                    increase = estimate_f(key[0], key[1])
+                    estimate_cache[key] = increase
+                score = load_view[row_targets[j]] ** alpha + increase
+                if score < best_score:
+                    best_score = score
+                    best_vp = vp
+                    best_worker = row_targets[j]
+                    best_increase = increase
+            load_view[best_worker] += best_increase
+            chosen[i] = best_vp
+        return chosen
 
 
 def make_strategy(name: str, alpha: float = 0.5) -> DistributionStrategy:

@@ -51,6 +51,20 @@ def _edge_keys_batch(candidates: np.ndarray, image: int, n: int) -> np.ndarray:
     return lo * np.uint64(n) + hi
 
 
+def _edge_keys_pairs(us: np.ndarray, vs: np.ndarray, n: int) -> np.ndarray:
+    """Canonical keys of elementwise ``(us[i], vs[i])`` edges, as ``uint64``.
+
+    The pairwise sibling of :func:`_edge_keys_batch` — both endpoints vary
+    per probe, which is what the batch-expansion kernel's cross-combination
+    checks need.
+    """
+    a = np.asarray(us, dtype=np.int64)
+    b = np.asarray(vs, dtype=np.int64)
+    lo = np.minimum(a, b).astype(np.uint64)
+    hi = np.maximum(a, b).astype(np.uint64)
+    return lo * np.uint64(n) + hi
+
+
 def _all_edge_keys(graph: Graph) -> np.ndarray:
     """Key of every undirected edge, one numpy pass over the CSR arrays."""
     indptr, indices = graph.to_csr()
@@ -93,6 +107,19 @@ class EdgeIndexBase:
             count=len(candidates),
         )
 
+    def might_contain_pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Pairwise batched form: one bool per edge ``(us[i], vs[i])``.
+
+        Both endpoints vary per probe — the batch-expansion kernel uses
+        this for cross-combination edge checks.  Statistics account one
+        query per pair, matching a scalar :meth:`might_contain` loop.
+        """
+        return np.fromiter(
+            (self.might_contain(int(u), int(v)) for u, v in zip(us, vs)),
+            dtype=bool,
+            count=len(us),
+        )
+
     def _record(self, answer: bool) -> bool:
         self.queries += 1
         if answer:
@@ -127,6 +154,10 @@ class BloomEdgeIndex(EdgeIndexBase):
         keys = _edge_keys_batch(candidates, image, self._n)
         return self._record_many(self._bloom.might_contain_many(keys))
 
+    def might_contain_pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        keys = _edge_keys_pairs(us, vs, self._n)
+        return self._record_many(self._bloom.might_contain_many(keys))
+
     def memory_bytes(self) -> int:
         """Index footprint (the paper notes ~2GB for Twitter's 1.2B edges)."""
         return self._bloom.memory_bytes()
@@ -159,6 +190,10 @@ class ExactEdgeIndex(EdgeIndexBase):
         keys = _edge_keys_batch(candidates, image, self._n)
         return self._record_many(self._lookup_many(keys))
 
+    def might_contain_pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        keys = _edge_keys_pairs(us, vs, self._n)
+        return self._record_many(self._lookup_many(keys))
+
 
 class NullEdgeIndex(EdgeIndexBase):
     """The index disabled: every probe answers 'maybe', so no early
@@ -169,6 +204,9 @@ class NullEdgeIndex(EdgeIndexBase):
 
     def might_contain_many(self, candidates: np.ndarray, image: int) -> np.ndarray:
         return self._record_many(np.ones(len(candidates), dtype=bool))
+
+    def might_contain_pairs(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        return self._record_many(np.ones(len(us), dtype=bool))
 
 
 def build_edge_index(graph: Graph, kind: str = "bloom", fp_rate: float = 0.01, seed: int = 0) -> EdgeIndexBase:

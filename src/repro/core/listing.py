@@ -40,13 +40,14 @@ from ..graph.ordered import OrderedGraph
 from ..graph.partition import Partition, random_partition
 from ..pattern.automorphism import automorphisms, break_automorphisms
 from ..pattern.pattern import PatternGraph
-from .codec import encoded_size
+from .batch_expand import expand_columns
+from .codec import encoded_size, encoded_size_batch
 from .cost import CostParameters, DEFAULT_COSTS
 from .distribution import DistributionStrategy, make_strategy
 from .edge_index import EdgeIndexBase, build_edge_index
 from .expansion import expand_gpsi
 from .init_vertex import select_initial_vertex
-from .psi import Gpsi
+from .psi import Gpsi, GpsiColumns
 
 
 @dataclass
@@ -124,6 +125,7 @@ class PSgLProgram(VertexProgram):
         collect_instances: bool,
         count_per_vertex: bool = False,
         track_message_bytes: bool = False,
+        batch_expand: bool = True,
     ):
         self.pattern = pattern
         self.ordered = ordered
@@ -136,10 +138,22 @@ class PSgLProgram(VertexProgram):
         self.collect_instances = collect_instances
         self.count_per_vertex = count_per_vertex
         self.track_message_bytes = track_message_bytes
+        self.batch_expand = batch_expand
         self.instances: List[Tuple[int, ...]] = []
         self.gpsi_by_vertex: Dict[int, int] = {}
         self.per_vertex_counts: Dict[int, int] = {}
+        #: Completed-instance mapping arrays awaiting the bincount fold
+        #: into ``per_vertex_counts`` (see :meth:`_fold_per_vertex`).
+        self._pvc_chunks: List[np.ndarray] = []
         self.message_bytes = 0
+
+    @property
+    def supports_columnar_compute(self) -> bool:
+        # Expansion supersteps run the batched kernel whenever the job is
+        # on the columnar wire plane, unless the caller pinned the scalar
+        # reference path with ``batch_expand=False``.  Custom strategies
+        # that only implement scalar ``choose`` need the scalar path.
+        return self.batch_expand
 
     # ------------------------------------------------------------------
     # Parallel-runtime contract: worker replicas ship without the data
@@ -180,7 +194,27 @@ class PSgLProgram(VertexProgram):
         else:
             self.ordered.graph = graph
 
+    def _fold_per_vertex(self) -> None:
+        """Fold pending completed-mapping chunks into ``per_vertex_counts``.
+
+        Each completed instance contributes one count to every data vertex
+        in its mapping; instead of a per-mapping dict loop this buffers
+        the ``(n, k)`` mapping arrays and folds them in one
+        ``np.bincount`` over the concatenated vertex ids.
+        """
+        if not self._pvc_chunks:
+            return
+        flat = np.concatenate([c.ravel() for c in self._pvc_chunks])
+        self._pvc_chunks = []
+        counts = np.bincount(flat, minlength=self.partition.num_vertices)
+        for vd in np.flatnonzero(counts):
+            vd = int(vd)
+            self.per_vertex_counts[vd] = (
+                self.per_vertex_counts.get(vd, 0) + int(counts[vd])
+            )
+
     def collect_state_delta(self):
+        self._fold_per_vertex()
         delta = (
             self.gpsi_by_vertex,
             self.instances,
@@ -255,11 +289,9 @@ class PSgLProgram(VertexProgram):
             if self.collect_instances:
                 self.instances.extend(outcome.complete)
             if self.count_per_vertex:
-                for mapping in outcome.complete:
-                    for vd in mapping:
-                        self.per_vertex_counts[vd] = (
-                            self.per_vertex_counts.get(vd, 0) + 1
-                        )
+                self._pvc_chunks.append(
+                    np.asarray(outcome.complete, dtype=np.int64)
+                )
         for child in outcome.pending:
             grays = child.useful_grays(self.pattern)
             chosen = self.strategy.choose(
@@ -274,6 +306,54 @@ class PSgLProgram(VertexProgram):
             if self.track_message_bytes:
                 self.message_bytes += encoded_size(addressed)
             ctx.send(child.mapping[chosen], addressed)
+
+    # ------------------------------------------------------------------
+    def compute_columns(self, ctx: ComputeContext, columns: GpsiColumns) -> None:
+        """Batched twin of the expansion phase: one call per data vertex,
+        consuming the vertex's delivered Gpsis as a packed
+        :class:`~repro.core.psi.GpsiColumns` slice and emitting children
+        through ``ctx.send_columns`` — no per-Gpsi objects anywhere (see
+        :mod:`repro.core.batch_expand`).  Superstep 0 always runs through
+        :meth:`compute`, so this only ever sees expansion supersteps."""
+        if "dist_rng" not in ctx.worker_state:
+            ctx.worker_state["dist_rng"] = np.random.default_rng(
+                (self.seed + 1) * 1_000_003 + ctx.worker_id
+            )
+        outcome = expand_columns(
+            columns,
+            ctx.vertex,
+            self.pattern,
+            self.ordered,
+            self.edge_index,
+            self.costs,
+        )
+        ctx.add_cost(outcome.cost)
+        for vp, n in outcome.generated_by_vp.items():
+            self.gpsi_by_vertex[vp] = self.gpsi_by_vertex.get(vp, 0) + n
+        if outcome.complete is not None and len(outcome.complete):
+            ctx.aggregate("found", int(outcome.complete.shape[0]))
+            if self.collect_instances:
+                self.instances.extend(map(tuple, outcome.complete.tolist()))
+            if self.count_per_vertex:
+                self._pvc_chunks.append(outcome.complete)
+        pending = outcome.pending
+        if pending is None or not len(pending.grays):
+            return
+        chosen = self.strategy.choose_many(
+            pending.mapping,
+            pending.grays,
+            pending.white_counts,
+            ctx.graph,
+            self.partition,
+            ctx.worker_state,
+        )
+        addressed = GpsiColumns(
+            pending.mapping, pending.black, chosen.astype(np.uint8)
+        )
+        if self.track_message_bytes:
+            self.message_bytes += encoded_size_batch(addressed)
+        dest = pending.mapping[np.arange(len(chosen)), chosen]
+        ctx.send_columns(dest, addressed)
 
 
 class PSgL:
@@ -322,6 +402,14 @@ class PSgL:
         delivery — same embeddings, ledgers and statistics, much less
         driver-side shuffle work on the process backend (see
         ``docs/perf.md``).
+    batch_expand:
+        Whether the columnar wire plane also runs the *batched expansion
+        kernel* (:mod:`repro.core.batch_expand`), expanding each worker's
+        packed batches end-to-end without materialising Gpsi objects.
+        Default ``None`` means "yes whenever ``wire='columnar'``";
+        ``False`` pins the scalar reference path (needed for custom
+        strategies that only implement scalar ``choose``).  Ignored on
+        the object wire plane.  Results are bit-identical either way.
     trace:
         Observability: ``None``/``False`` (default, zero overhead), a
         :class:`repro.obs.Tracer` to record per-superstep events into
@@ -346,6 +434,7 @@ class PSgL:
         backend: str = "serial",
         procs: Optional[int] = None,
         wire: str = "object",
+        batch_expand: Optional[bool] = None,
         trace: object = None,
     ):
         self.graph = graph
@@ -367,6 +456,7 @@ class PSgL:
         self.backend = backend
         self.procs = procs
         self.wire = wire
+        self.batch_expand = True if batch_expand is None else batch_expand
         self.trace = trace
 
     # ------------------------------------------------------------------
@@ -441,6 +531,7 @@ class PSgL:
             collect_instances=collect_instances,
             count_per_vertex=count_per_vertex,
             track_message_bytes=track_message_bytes,
+            batch_expand=self.batch_expand,
         )
         engine = BSPEngine(
             self.graph,
@@ -453,6 +544,9 @@ class PSgL:
             trace=self.trace,
         )
         bsp_result: BSPResult = engine.run(program)
+        # The serial backend never collects state deltas, so pending
+        # per-vertex-count chunks may still be buffered on the program.
+        program._fold_per_vertex()
         return ListingResult(
             count=int(bsp_result.aggregated["found"]),
             pattern=pattern,

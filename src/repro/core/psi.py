@@ -117,22 +117,25 @@ class Gpsi:
             return False
         return not self.uncovered_edges(pattern)
 
+    def mapped_mask(self) -> int:
+        """Bitmask of mapped (GRAY or BLACK) pattern vertices."""
+        mask = 0
+        for vp, vd in enumerate(self.mapping):
+            if vd != UNMAPPED:
+                mask |= 1 << vp
+        return mask
+
     def useful_grays(self, pattern: PatternGraph) -> List[int]:
         """GRAY vertices whose expansion makes progress.
 
         A GRAY vertex is useful when it is adjacent (in the pattern) to a
         WHITE vertex, or to an endpoint of an uncovered edge.  For any
-        incomplete Gpsi of a connected pattern at least one exists.
+        incomplete Gpsi of a connected pattern at least one exists.  The
+        answer depends only on the colouring signature, so it is served
+        from the pattern's per-signature cache
+        (:meth:`repro.pattern.pattern.PatternGraph.useful_grays_for`).
         """
-        result = []
-        uncovered = self.uncovered_edges(pattern)
-        uncovered_endpoints = {v for edge in uncovered for v in edge}
-        for vp in self.gray_vertices():
-            if any(self.is_white(w) for w in pattern.neighbors(vp)):
-                result.append(vp)
-            elif vp in uncovered_endpoints:
-                result.append(vp)
-        return result
+        return list(pattern.useful_grays_for(self.black, self.mapped_mask()))
 
     # ------------------------------------------------------------------
     def __reduce__(self):
@@ -211,6 +214,15 @@ class GpsiColumns:
         """Row subset/permutation (fancy-indexed copy) as new columns."""
         return GpsiColumns(
             self.mapping[rows], self.black[rows], self.next_vertex[rows]
+        )
+
+    def row_slice(self, start: int, stop: int) -> "GpsiColumns":
+        """Contiguous row range as zero-copy views — the per-vertex unit
+        the batch-expansion kernel consumes."""
+        return GpsiColumns(
+            self.mapping[start:stop],
+            self.black[start:stop],
+            self.next_vertex[start:stop],
         )
 
     @classmethod

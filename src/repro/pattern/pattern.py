@@ -45,6 +45,7 @@ class PatternGraph:
         "_order",
         "_less_than",
         "_greater_than",
+        "_useful_grays_cache",
     )
 
     def __init__(
@@ -75,6 +76,7 @@ class PatternGraph:
         self._less_than: List[Tuple[int, ...]] = [()] * num_vertices
         self._greater_than: List[Tuple[int, ...]] = [()] * num_vertices
         self._set_partial_order(partial_order)
+        self._useful_grays_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         if num_vertices > 1 and not self._is_connected():
             raise PatternError(f"pattern {name!r} must be connected")
 
@@ -152,6 +154,42 @@ class PatternGraph:
     def has_edge(self, u: int, v: int) -> bool:
         """Whether pattern edge ``(u, v)`` exists."""
         return (min(u, v), max(u, v)) in self._edges
+
+    def useful_grays_for(self, black: int, mapped_mask: int) -> Tuple[int, ...]:
+        """GRAY vertices whose expansion makes progress, by signature.
+
+        The answer is a pure function of the ``(black, mapped_mask)``
+        colouring signature — not of the concrete data-vertex mapping — so
+        it is memoised per pattern instance.  One Gpsi signature recurs
+        across thousands of instances in a superstep; the cache collapses
+        that recomputation to a dict hit (and the batch-expansion kernel
+        asks once per signature group).  A GRAY vertex is useful when it
+        is adjacent to a WHITE vertex or is an endpoint of an edge with no
+        BLACK endpoint (see :meth:`repro.core.psi.Gpsi.useful_grays`).
+        """
+        key = (black, mapped_mask)
+        cached = self._useful_grays_cache.get(key)
+        if cached is not None:
+            return cached
+        uncovered_endpoints = set()
+        for a, b in self._edges:
+            if not (black >> a & 1) and not (black >> b & 1):
+                uncovered_endpoints.add(a)
+                uncovered_endpoints.add(b)
+        result = tuple(
+            vp
+            for vp in range(self._n)
+            if (mapped_mask >> vp & 1)
+            and not (black >> vp & 1)
+            and (
+                any(
+                    not (mapped_mask >> w & 1) for w in self._adj[vp]
+                )
+                or vp in uncovered_endpoints
+            )
+        )
+        self._useful_grays_cache[key] = result
+        return result
 
     @property
     def partial_order(self) -> FrozenSet[OrderPair]:

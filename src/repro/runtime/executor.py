@@ -36,7 +36,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..bsp.message import GpsiBatch, Message, MessageStore, PackedWorkerBatch
+import numpy as np
+
+from ..bsp.message import (
+    ColumnarOutbox,
+    GpsiBatch,
+    Message,
+    MessageStore,
+    PackedWorkerBatch,
+)
 from ..bsp.vertex_program import ComputeContext, VertexProgram
 from ..graph.graph import Graph
 from ..graph.partition import Partition
@@ -159,27 +167,59 @@ def run_worker_batch(
     all side effects accumulate locally in program order.
 
     Under the columnar wire plane the kernel is also where both packed
-    endpoints live: a :class:`~repro.bsp.message.PackedWorkerBatch` input
-    is materialised here (batch decode, the only Gpsi construction in
-    the whole shuffle) and the outbox is packed into a
+    endpoints live.  Programs that declare ``supports_columnar_compute``
+    never leave packed form: the delivered
+    :class:`~repro.bsp.message.PackedWorkerBatch` is sliced per vertex and
+    handed to ``compute_columns``, and children flow through
+    ``ctx.send_columns`` into a :class:`~repro.bsp.message.ColumnarOutbox`
+    — zero Gpsi constructions end to end.  For every other program the
+    packed input is materialised here (batch decode, the only Gpsi
+    construction in the whole shuffle) and the outbox is packed into a
     :class:`~repro.bsp.message.GpsiBatch` before it travels back — on
     the process backend both directions therefore cross the pool
-    boundary as a handful of numpy buffers.
+    boundary as a handful of numpy buffers either way.
     """
-    if isinstance(batch, PackedWorkerBatch):
+    columnar_compute = (
+        isinstance(batch, PackedWorkerBatch)
+        and wire == "columnar"
+        and getattr(program, "supports_columnar_compute", False)
+    )
+    if isinstance(batch, PackedWorkerBatch) and not columnar_compute:
         batch = batch.materialize()
-    local_outbox = MessageStore(combiner)
     inbound = [0] * num_workers
     outputs: List[Any] = []
     acc = {"cost": 0.0, "sent": 0}
 
-    def send(message: Message) -> None:
-        local_outbox.add(message)
-        acc["sent"] += 1
-        inbound[partition.owner(message.dest)] += 1
-
     def add_cost(units: float) -> None:
         acc["cost"] += units
+
+    if columnar_compute:
+        col_outbox = ColumnarOutbox()
+        owner_array = partition.owner_array
+
+        def send(message: Message) -> None:
+            col_outbox.append_message(message)
+            acc["sent"] += 1
+            inbound[partition.owner(message.dest)] += 1
+
+        def send_columns(dest, columns) -> None:
+            col_outbox.append(dest, columns)
+            n = len(columns)
+            acc["sent"] += n
+            if n:
+                for w, c in enumerate(
+                    np.bincount(owner_array[dest], minlength=num_workers)
+                ):
+                    inbound[w] += int(c)
+
+    else:
+        local_outbox = MessageStore(combiner)
+        send_columns = None
+
+        def send(message: Message) -> None:
+            local_outbox.add(message)
+            acc["sent"] += 1
+            inbound[partition.owner(message.dest)] += 1
 
     ctx = ComputeContext(
         graph=graph,
@@ -190,14 +230,29 @@ def run_worker_batch(
         add_cost=add_cost,
         emit=outputs.append,
         aggregators=aggregators,
+        send_columns=send_columns,
     )
     compute_calls = 0
-    for vertex, payloads in batch:
-        ctx.vertex = vertex
-        compute_calls += 1
-        program.compute(ctx, payloads)
+    if columnar_compute:
+        pos = 0
+        columns = batch.columns
+        for vertex, count in zip(
+            batch.vertices.tolist(), batch.counts.tolist()
+        ):
+            ctx.vertex = vertex
+            compute_calls += 1
+            program.compute_columns(ctx, columns.row_slice(pos, pos + count))
+            pos += count
+    else:
+        for vertex, payloads in batch:
+            ctx.vertex = vertex
+            compute_calls += 1
+            program.compute(ctx, payloads)
 
-    if wire == "columnar":
+    if columnar_compute:
+        outbox = col_outbox.to_batch()
+        wire_bytes = outbox.nbytes
+    elif wire == "columnar":
         outbox = GpsiBatch.pack(local_outbox.as_batch())
         wire_bytes = outbox.nbytes
     else:

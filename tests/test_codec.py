@@ -218,6 +218,23 @@ class TestBatchRoundTrip:
         columns = pack_gpsis(gpsis, k)
         assert len(encode_columns(columns)) == batch_encoded_size(len(gpsis), k)
 
+    @given(gpsi_batches())
+    def test_encoded_size_batch_independent_of_next(self, batch):
+        """The batched expansion path accounts ``message_bytes`` with one
+        ``encoded_size_batch`` call on the addressed child columns; the
+        scalar path sums ``encoded_size`` per addressed child.  Byte
+        parity holds for every addressing because the codec's next-vertex
+        field is fixed-width — re-addressing rows never changes the
+        accounted volume."""
+        gpsis, k = batch
+        columns = pack_gpsis(gpsis, k)
+        base = encoded_size_batch(columns)
+        readdressed = pack_gpsis([g.with_next(k - 1) for g in gpsis], k)
+        assert encoded_size_batch(readdressed) == base
+        assert base == sum(
+            encoded_size(g.with_next(k - 1)) for g in gpsis
+        )
+
     @given(st.lists(valid_gpsis(k=4, max_id=500), min_size=1, max_size=30))
     def test_columnar_vs_scalar_bytes_per_gpsi(self, gpsis):
         """Cross-check the two planes' wire volume on random Gpsis: the
