@@ -1,0 +1,279 @@
+"""Query-service benchmark: cold vs. cached latency and scraped QPS.
+
+Boots a real :class:`repro.service.SubgraphService` behind its HTTP
+server (ephemeral port, in-process, same wire path as ``psgl serve``)
+over an R-MAT graph and measures what a resident server buys:
+
+* **cold vs. cached latency** — the same PG1/PG2 count submitted twice;
+  the first executes on the worker pool, the second is served from the
+  result cache.  The headline metric is ``cached_speedup`` (acceptance
+  target: >= 10x on the full-size run) and the cache hit is asserted
+  both on the job payload and in ``/metrics``;
+* **throughput** — closed-loop clients hammering the cached query at
+  concurrency 1/4/16, reporting requests/second through the full HTTP +
+  JSON + cache path.
+
+The JSON record lands in ``results/BENCH_service.json``.  Full size (the
+~122k-edge scale-15 R-MAT the other runtime benchmarks use)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+CI-friendly smoke run (small graph, fewer requests, separate output
+file, parity + cache-hit assertions but no speedup floor)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+Environment knobs: ``PSGL_BENCH_RMAT_SCALE`` (log2 vertices, default
+15), ``PSGL_BENCH_RMAT_DEG`` (average degree, default 8),
+``PSGL_BENCH_PROCS`` (service worker-pool width, default 4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import threading
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.core import PSgL
+from repro.graph.generators import rmat
+from repro.pattern import paper_patterns
+from repro.service import running_service
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_service.json"
+SMOKE_RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_service_smoke.json"
+)
+
+DEFAULT_SCALE = int(os.environ.get("PSGL_BENCH_RMAT_SCALE", "15"))
+DEFAULT_DEG = float(os.environ.get("PSGL_BENCH_RMAT_DEG", "8"))
+DEFAULT_PROCS = int(os.environ.get("PSGL_BENCH_PROCS", "4"))
+
+CONCURRENCIES = (1, 4, 16)
+
+
+def bench_cold_vs_cached(client, graph, pattern_name, workers, repeats):
+    """One executed query, then ``repeats`` cache hits; parity asserted
+    against a direct in-process driver on the same graph."""
+    expected = PSgL(graph, num_workers=workers).count(
+        paper_patterns()[pattern_name]
+    )
+    t0 = perf_counter()
+    cold = client.count(pattern=pattern_name, workers=workers, timeout=600)
+    cold_seconds = perf_counter() - t0
+    assert cold["state"] == "completed", cold
+    assert not cold["cached"]
+    assert cold["result"]["count"] == expected, (pattern_name, cold["result"])
+
+    cached_samples = []
+    for _ in range(repeats):
+        t0 = perf_counter()
+        hit = client.submit(pattern=pattern_name, workers=workers)
+        cached_samples.append(perf_counter() - t0)
+        assert hit["cached"] and hit["state"] == "completed"
+        assert hit["result"]["count"] == expected
+    cached_seconds = statistics.median(cached_samples)
+    return {
+        "pattern": pattern_name,
+        "count": expected,
+        "cold_seconds": round(cold_seconds, 4),
+        "cached_seconds_median": round(cached_seconds, 6),
+        "cached_samples": repeats,
+        "cached_speedup": round(cold_seconds / cached_seconds, 1)
+        if cached_seconds
+        else None,
+    }
+
+
+def bench_throughput(client, pattern_name, workers, requests_per_client):
+    """Closed-loop cached-query throughput at each concurrency level."""
+    results = {}
+    for concurrency in CONCURRENCIES:
+        errors = []
+        barrier = threading.Barrier(concurrency + 1)
+
+        def hammer():
+            try:
+                barrier.wait(10)
+                for _ in range(requests_per_client):
+                    job = client.submit(pattern=pattern_name, workers=workers)
+                    assert job["state"] == "completed"
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(concurrency)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait(10)
+        t0 = perf_counter()
+        for t in threads:
+            t.join(120)
+        elapsed = perf_counter() - t0
+        if errors:
+            raise errors[0]
+        total = concurrency * requests_per_client
+        results[str(concurrency)] = {
+            "requests": total,
+            "seconds": round(elapsed, 4),
+            "qps": round(total / elapsed, 1) if elapsed else None,
+        }
+    return results
+
+
+def run_benchmark(
+    scale=DEFAULT_SCALE,
+    avg_degree=DEFAULT_DEG,
+    procs=DEFAULT_PROCS,
+    seed=1,
+    cached_repeats=20,
+    requests_per_client=25,
+    require_speedup=10.0,
+    out_path=RESULTS_PATH,
+):
+    graph = rmat(scale, avg_degree=avg_degree, seed=seed)
+    # Square listings explode combinatorially at scale 15; the PG2 leg
+    # caps its graph at scale 12 (like the other runtime benchmarks) and
+    # the JSON records the scale actually used.
+    pg2_scale = min(scale, 12)
+    pg2_graph = (
+        graph
+        if pg2_scale == scale
+        else rmat(pg2_scale, avg_degree=avg_degree, seed=seed)
+    )
+    workers = procs
+    with running_service(
+        graph, name=f"rmat-{scale}", max_inflight=procs, max_queue_depth=64
+    ) as (client, service):
+        latency = {
+            "PG1": {
+                "scale": scale,
+                **bench_cold_vs_cached(
+                    client, graph, "PG1", workers, cached_repeats
+                ),
+            }
+        }
+        throughput = bench_throughput(
+            client, "PG1", workers, requests_per_client
+        )
+        metrics = client.metrics()
+        assert metrics["psgl_service_cache_hits_total"] >= cached_repeats
+        assert metrics['psgl_service_jobs_total{state="completed"}'] > 0
+    with running_service(
+        pg2_graph, name=f"rmat-{pg2_scale}", max_inflight=procs
+    ) as (client, service):
+        latency["PG2"] = {
+            "scale": pg2_scale,
+            **bench_cold_vs_cached(
+                client, pg2_graph, "PG2", workers, cached_repeats
+            ),
+        }
+
+    if require_speedup is not None:
+        for name, stats in latency.items():
+            assert stats["cached_speedup"] >= require_speedup, (
+                f"{name}: cached_speedup {stats['cached_speedup']} "
+                f"< {require_speedup}"
+            )
+
+    record = {
+        "benchmark": "service",
+        "graph": {
+            "family": "rmat",
+            "scale": scale,
+            "avg_degree": avg_degree,
+            "seed": seed,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "service": {
+            "max_inflight": procs,
+            "workers_per_job": workers,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "latency": latency,
+        "throughput_cached_qps": throughput,
+        "metrics_snapshot": {
+            "cache_hits": metrics["psgl_service_cache_hits_total"],
+            "cache_misses": metrics["psgl_service_cache_misses_total"],
+            "jobs_completed": metrics[
+                'psgl_service_jobs_total{state="completed"}'
+            ],
+        },
+    }
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--avg-degree", type=float, default=DEFAULT_DEG)
+    parser.add_argument("--procs", type=int, default=DEFAULT_PROCS)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small graph, fewer requests, separate output file, "
+        "no speedup floor",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        record = run_benchmark(
+            scale=args.scale or 10,
+            avg_degree=args.avg_degree,
+            procs=args.procs,
+            seed=args.seed,
+            cached_repeats=5,
+            requests_per_client=5,
+            require_speedup=None,
+            out_path=args.out or SMOKE_RESULTS_PATH,
+        )
+        out = args.out or SMOKE_RESULTS_PATH
+    else:
+        record = run_benchmark(
+            scale=args.scale or DEFAULT_SCALE,
+            avg_degree=args.avg_degree,
+            procs=args.procs,
+            seed=args.seed,
+            out_path=args.out or RESULTS_PATH,
+        )
+        out = args.out or RESULTS_PATH
+
+    graph = record["graph"]
+    print(
+        f"rmat scale={graph['scale']} |V|={graph['vertices']:,} "
+        f"|E|={graph['edges']:,}"
+    )
+    for name, stats in record["latency"].items():
+        print(
+            f"  {name} (count={stats['count']:,}): cold "
+            f"{stats['cold_seconds']:.3f}s -> cached "
+            f"{stats['cached_seconds_median'] * 1000:.2f}ms "
+            f"({stats['cached_speedup']}x)"
+        )
+    for concurrency, stats in record["throughput_cached_qps"].items():
+        print(
+            f"  cached QPS @ {concurrency:>2} clients: {stats['qps']:,} "
+            f"({stats['requests']} requests in {stats['seconds']:.2f}s)"
+        )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

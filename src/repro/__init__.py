@@ -22,17 +22,23 @@ Package layout
   distribution strategies, cost model, edge index, driver);
 * :mod:`repro.baselines` — centralized oracle, MapReduce engine plus the
   Afrati and SGIA-MR algorithms, PowerGraph- and GraphChi-style engines;
-* :mod:`repro.bench` — datasets, runner and per-figure/table experiments.
+* :mod:`repro.bench` — datasets, runner and per-figure/table experiments;
+* :mod:`repro.service` — the resident query service (``psgl serve``):
+  job scheduling, result caching, admission control, per-job budgets.
 """
 
 from .core import PSgL, ListingResult
 from .exceptions import (
+    AdmissionError,
+    BudgetExceededError,
     DistributionError,
     EngineError,
     GraphError,
     GraphFormatError,
+    JobCancelled,
     PartialOrderError,
     PatternError,
+    QuerySpecError,
     ReproError,
     SimulatedOOMError,
 )
@@ -88,6 +94,10 @@ __all__ = [
     "EngineError",
     "DistributionError",
     "SimulatedOOMError",
+    "BudgetExceededError",
+    "JobCancelled",
+    "QuerySpecError",
+    "AdmissionError",
     "Graph",
     "OrderedGraph",
     "chung_lu_power_law",

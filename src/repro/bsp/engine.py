@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, List, Optional, Union
 
-from ..exceptions import EngineError
+from ..exceptions import BudgetExceededError, EngineError, JobCancelled
 from ..graph.graph import Graph
 from ..graph.partition import Partition
 from ..obs.tracer import make_tracer
@@ -98,6 +98,21 @@ class BSPEngine:
         generic per-payload reference) or ``"columnar"`` (packed Gpsi
         buffers, combiner-less Gpsi programs only — see
         :mod:`repro.bsp.message` and ``docs/perf.md``).
+    superstep_budget:
+        Per-job superstep budget: unlike ``max_supersteps`` (a safety
+        valve that raises :class:`~repro.exceptions.EngineError`),
+        crossing it raises
+        :class:`~repro.exceptions.BudgetExceededError` — the structured
+        resource-kill the service layer's ``ResourceBudget`` maps to a
+        clean job termination.
+    wall_budget_seconds:
+        Per-job wall-clock budget, checked at every superstep boundary;
+        crossing it raises :class:`~repro.exceptions.BudgetExceededError`.
+    abort_event:
+        Optional ``threading.Event``-like object polled at every
+        superstep boundary; once set, the run raises
+        :class:`~repro.exceptions.JobCancelled` (cooperative
+        cancellation — teardown and tracing run normally).
     """
 
     def __init__(
@@ -111,6 +126,9 @@ class BSPEngine:
         procs: Optional[int] = None,
         trace: Any = None,
         wire: str = "object",
+        superstep_budget: Optional[int] = None,
+        wall_budget_seconds: Optional[float] = None,
+        abort_event: Optional[Any] = None,
     ):
         if partition.num_vertices != graph.num_vertices:
             raise EngineError(
@@ -130,6 +148,9 @@ class BSPEngine:
         self.backend = backend
         self.procs = procs
         self.trace = trace
+        self.superstep_budget = superstep_budget
+        self.wall_budget_seconds = wall_budget_seconds
+        self.abort_event = abort_event
         self.workers = [
             Worker(w, partition.vertices_of(w))
             for w in range(partition.num_workers)
@@ -202,6 +223,35 @@ class BSPEngine:
                         f"exceeded max_supersteps={self.max_supersteps}; "
                         "program may not terminate"
                     )
+                if self.abort_event is not None and self.abort_event.is_set():
+                    raise JobCancelled(
+                        f"job aborted at superstep {superstep} "
+                        "(cancellation requested)"
+                    )
+                if (
+                    self.superstep_budget is not None
+                    and superstep >= self.superstep_budget
+                ):
+                    raise BudgetExceededError(
+                        f"superstep budget of {self.superstep_budget} "
+                        f"exhausted at superstep {superstep}",
+                        resource="supersteps",
+                        used=superstep,
+                        budget=self.superstep_budget,
+                        where=f"superstep {superstep}",
+                    )
+                if self.wall_budget_seconds is not None:
+                    elapsed = perf_counter() - started
+                    if elapsed > self.wall_budget_seconds:
+                        raise BudgetExceededError(
+                            f"wall-clock budget of "
+                            f"{self.wall_budget_seconds:g}s exhausted after "
+                            f"{elapsed:.3f}s at superstep {superstep}",
+                            resource="wall_seconds",
+                            used=elapsed,
+                            budget=self.wall_budget_seconds,
+                            where=f"superstep {superstep}",
+                        )
                 ledger.begin_superstep(superstep)
                 outbox = (
                     ColumnarMessageStore()

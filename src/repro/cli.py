@@ -7,6 +7,7 @@ Subcommands
 ``patterns``  show the PG1-PG5 catalog with partial orders
 ``stats``     degree statistics and the Property 1 skew report
 ``bench``     regenerate paper tables/figures (all or selected)
+``serve``     run the resident subgraph-query service (docs/service.md)
 
 Examples
 --------
@@ -15,6 +16,11 @@ Examples
     psgl count --pattern PG1 --dataset wikitalk --workers 16
     psgl count --pattern C5 --edge-list my_graph.txt --strategy WA,0.5
     psgl bench --experiments fig3 fig8 --scale 0.5 --out results/
+    psgl serve --dataset wikitalk --port 8707
+
+Errors from the library surface as one-line ``psgl: error: ...``
+messages with a distinct exit code per failure family (see
+``EXIT_CODES``), never as tracebacks.
 """
 
 from __future__ import annotations
@@ -28,6 +34,15 @@ from .bench.datasets import dataset_summary, load_dataset
 from .bench.runner import EXPERIMENT_IDS, run_all
 from .bench.tables import format_table
 from .core.listing import PSgL
+from .exceptions import (
+    BudgetExceededError,
+    DistributionError,
+    EngineError,
+    GraphError,
+    PatternError,
+    QuerySpecError,
+    ReproError,
+)
 from .graph.io import read_edge_list
 from .graph.stats import skew_report
 from .obs import Tracer, straggler_report, write_chrome_trace, write_jsonl
@@ -144,6 +159,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for per-experiment Chrome trace files "
         "(experiments that support tracing write <id>_trace.json)",
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the resident subgraph-query service"
+    )
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--dataset", help="a registered synthetic analog")
+    serve_source.add_argument("--edge-list", help="path to an edge list")
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8707,
+        help="TCP port (0 binds an ephemeral port; pair with --port-file)",
+    )
+    serve.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port here once listening (for scripts/CI)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        help="concurrently executing jobs (worker-pool width)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=32,
+        help="queued jobs admitted before submissions get HTTP 429",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=32 * 1024 * 1024,
+        help="result-cache byte budget (0 disables caching)",
+    )
+    serve.add_argument(
+        "--max-supersteps",
+        type=int,
+        default=None,
+        help="default per-job superstep budget (requests may tighten it)",
+    )
+    serve.add_argument(
+        "--max-wall-seconds",
+        type=float,
+        default=None,
+        help="default per-job wall-clock budget",
+    )
+    serve.add_argument(
+        "--max-live-gpsis",
+        type=int,
+        default=None,
+        help="default per-job cap on live intermediate results",
+    )
+    serve.add_argument(
+        "--no-job-traces",
+        action="store_true",
+        help="skip per-job tracing (disables /jobs/<id>/trace)",
+    )
     return parser
 
 
@@ -256,6 +333,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred import: the service package pulls in the HTTP stack,
+    # which no other subcommand needs.
+    from .service import GraphContext, ResourceBudget, ResultCache, SubgraphService, serve
+
+    if args.dataset:
+        print(f"loading dataset {args.dataset}@{args.scale} ...")
+        context = GraphContext.from_dataset(args.dataset, args.scale)
+    else:
+        print(f"loading edge list {args.edge_list} ...")
+        context = GraphContext.from_edge_list(args.edge_list)
+    print(f"graph      : {context.graph}")
+    print(f"fingerprint: {context.fingerprint}")
+    service = SubgraphService(
+        context,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue_depth,
+        default_budget=ResourceBudget(
+            max_live_gpsis=args.max_live_gpsis,
+            max_supersteps=args.max_supersteps,
+            max_wall_seconds=args.max_wall_seconds,
+        ),
+        cache=ResultCache(max_bytes=args.cache_bytes),
+        trace_jobs=not args.no_job_traces,
+    )
+
+    def _ready(server) -> None:
+        host, port = server.server_address[:2]
+        if args.port_file is not None:
+            args.port_file.write_text(f"{port}\n")
+        print(f"listening  : http://{host}:{port} (POST /jobs, GET /metrics)")
+
+    serve(service, host=args.host, port=args.port, ready_callback=_ready)
+    return 0
+
+
+#: Exit-code mapping for library errors, most specific first.  Scripts
+#: can branch on the family without parsing stderr; 1 stays reserved
+#: for unexpected failures and 2 for argparse usage errors.
+EXIT_CODES = (
+    (PatternError, 3),
+    (QuerySpecError, 3),
+    (GraphError, 4),
+    (BudgetExceededError, 6),
+    (EngineError, 5),
+    (DistributionError, 5),
+    (ReproError, 7),
+)
+
+
+def _exit_code_for(exc: ReproError) -> int:
+    for exc_type, code in EXIT_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return 7
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``psgl`` console script."""
     args = _build_parser().parse_args(argv)
@@ -265,8 +399,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "patterns": _cmd_patterns,
         "stats": _cmd_stats,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"psgl: error: {exc}", file=sys.stderr)
+        return _exit_code_for(exc)
+    except FileNotFoundError as exc:
+        print(f"psgl: error: file not found: {exc.filename or exc}", file=sys.stderr)
+        return 4
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ statistics, which charge one query per candidate either way).
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from ..graph.graph import Graph
@@ -88,6 +90,19 @@ class EdgeIndexBase:
         """Zero the probe counters (indexes are reused across runs)."""
         self.queries = 0
         self.positives = 0
+
+    def detached_view(self) -> "EdgeIndexBase":
+        """Shallow copy with private probe counters.
+
+        Shares the (read-only) filter/key arrays with the parent — no
+        rebuild cost — but owns fresh ``queries``/``positives``
+        statistics, so concurrent jobs probing one replicated index
+        never race on the counters.  This is how the query service hands
+        each job its own view of the graph's one resident index.
+        """
+        clone = copy.copy(self)
+        clone.reset_statistics()
+        return clone
 
     def might_contain(self, u: int, v: int) -> bool:
         """Whether edge ``(u, v)`` possibly exists (never a false negative

@@ -25,6 +25,7 @@ Example
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -34,7 +35,7 @@ from ..bsp.aggregate import sum_aggregator
 from ..bsp.engine import BSPEngine, BSPResult
 from ..bsp.metrics import CostLedger
 from ..bsp.vertex_program import ComputeContext, VertexProgram
-from ..exceptions import PatternError
+from ..exceptions import GraphError, PatternError
 from ..graph.graph import Graph
 from ..graph.ordered import OrderedGraph
 from ..graph.partition import Partition, random_partition
@@ -373,7 +374,10 @@ class PSgL:
         Penalty exponent when ``strategy="workload-aware"``.
     edge_index:
         ``"bloom"`` (the paper's index), ``"exact"``, or ``"none"``
-        (disables pruning rule 2, the Table 2 ablation).
+        (disables pruning rule 2, the Table 2 ablation) — or a prebuilt
+        :class:`~repro.core.edge_index.EdgeIndexBase` instance, which
+        lets a resident server build the index once and hand each job a
+        cheap :meth:`~repro.core.edge_index.EdgeIndexBase.detached_view`.
     edge_index_fp:
         Target false-positive rate of the bloom index.
     memory_budget:
@@ -416,6 +420,20 @@ class PSgL:
         (one tracer may observe several runs), or ``True`` for a fresh
         tracer per run, returned on ``ListingResult.trace``.  See
         ``docs/observability.md``.
+    ordered:
+        Optional prebuilt :class:`~repro.graph.ordered.OrderedGraph` of
+        ``graph``.  The degree order is deterministic, so a long-lived
+        server computes it once and shares the (read-only) instance
+        across every concurrent job instead of re-deriving it per
+        driver.
+    superstep_budget / wall_budget_seconds:
+        Per-job resource budgets forwarded to the BSP engine; crossing
+        one raises :class:`~repro.exceptions.BudgetExceededError` (see
+        ``docs/service.md``).
+    abort_event:
+        Optional ``threading.Event`` polled at superstep boundaries;
+        setting it cancels the run with
+        :class:`~repro.exceptions.JobCancelled`.
     """
 
     def __init__(
@@ -424,7 +442,7 @@ class PSgL:
         num_workers: int = 4,
         strategy: Union[str, DistributionStrategy] = "workload-aware",
         alpha: float = 0.5,
-        edge_index: str = "bloom",
+        edge_index: Union[str, EdgeIndexBase] = "bloom",
         edge_index_fp: float = 0.01,
         memory_budget: Optional[int] = None,
         worker_memory_budget: Optional[int] = None,
@@ -436,9 +454,17 @@ class PSgL:
         wire: str = "object",
         batch_expand: Optional[bool] = None,
         trace: object = None,
+        ordered: Optional[OrderedGraph] = None,
+        superstep_budget: Optional[int] = None,
+        wall_budget_seconds: Optional[float] = None,
+        abort_event: Optional[threading.Event] = None,
     ):
         self.graph = graph
-        self.ordered = OrderedGraph(graph)
+        if ordered is not None and ordered.graph is not graph:
+            raise GraphError(
+                "ordered= must be an OrderedGraph over the same graph object"
+            )
+        self.ordered = ordered if ordered is not None else OrderedGraph(graph)
         if isinstance(strategy, DistributionStrategy):
             self.strategy = strategy
         else:
@@ -446,11 +472,18 @@ class PSgL:
         self.partition = partition or random_partition(
             graph.num_vertices, num_workers, seed=seed
         )
-        self.edge_index_kind = edge_index
+        if isinstance(edge_index, EdgeIndexBase):
+            self.edge_index_kind = edge_index.__class__.__name__
+            self._edge_index: Optional[EdgeIndexBase] = edge_index
+        else:
+            self.edge_index_kind = edge_index
+            self._edge_index = None
         self.edge_index_fp = edge_index_fp
         self.memory_budget = memory_budget
         self.worker_memory_budget = worker_memory_budget
-        self._edge_index: Optional[EdgeIndexBase] = None
+        #: Guards the lazy index build when several threads share one
+        #: driver (the index itself is read-only once built).
+        self._index_lock = threading.Lock()
         self.seed = seed
         self.costs = costs
         self.backend = backend
@@ -458,6 +491,9 @@ class PSgL:
         self.wire = wire
         self.batch_expand = True if batch_expand is None else batch_expand
         self.trace = trace
+        self.superstep_budget = superstep_budget
+        self.wall_budget_seconds = wall_budget_seconds
+        self.abort_event = abort_event
 
     # ------------------------------------------------------------------
     def run(
@@ -509,14 +545,19 @@ class PSgL:
             )
 
         # The index depends only on the data graph: build once per driver,
-        # reset its probe statistics per run.
+        # reset its probe statistics per run.  The lock only serialises
+        # the build — concurrent runs sharing a built index are safe
+        # (probes are read-only; only the statistics counters race, and
+        # servers hand each job a detached_view to keep those clean too).
         if self._edge_index is None:
-            self._edge_index = build_edge_index(
-                self.graph,
-                kind=self.edge_index_kind,
-                fp_rate=self.edge_index_fp,
-                seed=self.seed,
-            )
+            with self._index_lock:
+                if self._edge_index is None:
+                    self._edge_index = build_edge_index(
+                        self.graph,
+                        kind=self.edge_index_kind,
+                        fp_rate=self.edge_index_fp,
+                        seed=self.seed,
+                    )
         index = self._edge_index
         index.reset_statistics()
         program = PSgLProgram(
@@ -542,6 +583,9 @@ class PSgL:
             procs=self.procs,
             wire=self.wire,
             trace=self.trace,
+            superstep_budget=self.superstep_budget,
+            wall_budget_seconds=self.wall_budget_seconds,
+            abort_event=self.abort_event,
         )
         bsp_result: BSPResult = engine.run(program)
         # The serial backend never collects state deltas, so pending

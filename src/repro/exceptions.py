@@ -36,7 +36,36 @@ class DistributionError(ReproError):
     """A distribution strategy could not pick an expansion vertex."""
 
 
-class SimulatedOOMError(ReproError):
+class BudgetExceededError(ReproError):
+    """A per-job resource budget was exhausted.
+
+    The general form of the budget machinery: ``resource`` names what ran
+    out (``"gpsi_memory"``, ``"supersteps"``, ``"wall_seconds"``, ...),
+    ``used``/``budget`` quantify it, ``where`` localises it.  The service
+    layer maps this to a clean job kill with a structured error instead
+    of a traceback.
+    """
+
+    def __init__(self, message, resource="", used=None, budget=None, where=""):
+        self.resource = resource
+        self.used = used
+        self.budget = budget
+        self.where = where
+        super().__init__(message)
+
+    def to_json(self):
+        """Structured form for API error payloads."""
+        return {
+            "type": type(self).__name__,
+            "message": str(self),
+            "resource": self.resource,
+            "used": self.used,
+            "budget": self.budget,
+            "where": self.where,
+        }
+
+
+class SimulatedOOMError(BudgetExceededError):
     """The simulated memory budget for intermediate results was exceeded.
 
     Mirrors the Java ``OutOfMemoryError`` failures the paper reports for
@@ -46,10 +75,40 @@ class SimulatedOOMError(ReproError):
 
     def __init__(self, live, budget, where=""):
         self.live = live
-        self.budget = budget
-        self.where = where
         suffix = f" in {where}" if where else ""
         super().__init__(
             f"simulated OOM{suffix}: {live} live intermediate results "
-            f"exceed budget of {budget}"
+            f"exceed budget of {budget}",
+            resource="gpsi_memory",
+            used=live,
+            budget=budget,
+            where=where,
         )
+
+
+class JobCancelled(ReproError):
+    """A job was aborted through its cancellation event.
+
+    Raised by the BSP engine at the next superstep boundary after the
+    ``abort_event`` passed to it is set; the service layer maps it to the
+    ``cancelled`` terminal job state.
+    """
+
+
+class QuerySpecError(ReproError):
+    """A query submission was malformed (unknown fields, bad values).
+
+    Maps to HTTP 400 on the wire, before any job is created.
+    """
+
+
+class AdmissionError(ReproError):
+    """The query service refused a submission (queue full).
+
+    Maps to HTTP 429 on the wire; carries the depths that triggered it.
+    """
+
+    def __init__(self, message, queued=None, limit=None):
+        self.queued = queued
+        self.limit = limit
+        super().__init__(message)

@@ -41,7 +41,7 @@ class Graph:
         reciprocal edge and eliminating loops").
     """
 
-    __slots__ = ("_n", "_adj", "_degrees", "_m", "_hash")
+    __slots__ = ("_n", "_adj", "_degrees", "_m", "_hash", "_fingerprint")
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge]):
         if num_vertices < 0:
@@ -64,6 +64,7 @@ class Graph:
         self._degrees = np.array([len(a) for a in self._adj], dtype=np.int64)
         self._m = int(self._degrees.sum()) // 2
         self._hash = None
+        self._fingerprint = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -150,6 +151,7 @@ class Graph:
         graph._degrees = np.asarray(np.diff(indptr), dtype=np.int64)
         graph._m = int(graph._degrees.sum()) // 2
         graph._hash = None
+        graph._fingerprint = None
         return graph
 
     # ------------------------------------------------------------------
@@ -227,16 +229,31 @@ class Graph:
             np.array_equal(a, b) for a, b in zip(self._adj, other._adj)
         )
 
+    def fingerprint(self) -> str:
+        """Stable hex digest of the graph structure.
+
+        A 128-bit blake2b over the CSR arrays, computed once and cached
+        (graphs are immutable).  Unlike :meth:`__hash__` — whose value is
+        process-local because it folds through Python's ``hash()`` — the
+        fingerprint is reproducible across processes and runs, which is
+        what the query service keys its result cache on and reports on
+        ``/graph``.
+        """
+        if self._fingerprint is None:
+            indptr, indices = self.to_csr()
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.int64(self._n).tobytes())
+            digest.update(indptr.tobytes())
+            digest.update(indices.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def __hash__(self):
         # Structural, consistent with __eq__: equal graphs hash equal.
         # Computed once over the CSR bytes and cached (graphs are
         # immutable), so only the first hash of a graph costs O(m).
         if self._hash is None:
-            indptr, indices = self.to_csr()
-            digest = hashlib.blake2b(digest_size=8)
-            digest.update(indptr.tobytes())
-            digest.update(indices.tobytes())
-            self._hash = hash((self._n, self._m, digest.digest()))
+            self._hash = hash((self._n, self._m, self.fingerprint()))
         return self._hash
 
     def __repr__(self) -> str:

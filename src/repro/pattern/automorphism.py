@@ -127,6 +127,73 @@ def break_automorphisms(pattern: PatternGraph) -> PatternGraph:
     return pattern.with_partial_order(constraints)
 
 
+def canonical_labeling(pattern: PatternGraph) -> Permutation:
+    """A relabeling ``mapping`` (``mapping[v]`` = canonical id of ``v``)
+    that is invariant under isomorphism.
+
+    The canonical form is the lexicographically smallest incremental
+    adjacency encoding over all ``n!`` relabelings, found by backtracking
+    with prefix pruning (a partial assignment whose encoding already
+    exceeds the best known full encoding is abandoned), so in practice
+    only a small fraction of the permutations is visited.  Among the
+    relabelings achieving the minimal structural encoding — they differ
+    by an automorphism of the canonical graph — the one whose relabeled
+    partial-order set is smallest is returned, making the labeling
+    invariant for *ordered* patterns too: two patterns related by an
+    isomorphism that also maps one partial order onto the other get
+    identical canonical forms.
+
+    Used by :meth:`PatternGraph.canonical_form
+    <repro.pattern.pattern.PatternGraph.canonical_form>` /
+    :meth:`~repro.pattern.pattern.PatternGraph.canonical_key` — the
+    service result cache keys on it so isomorphic pattern inputs share
+    cache entries.
+    """
+    n = pattern.num_vertices
+    best_bits: List[Tuple[int, ...]] = []
+    best_slots: List[List[int]] = []  # slot -> original vertex, per winner
+    slots: List[int] = []
+    placed = [False] * n
+
+    def place(i: int, bits: List[Tuple[int, ...]]) -> None:
+        if i == n:
+            if not best_bits or bits < best_bits[0]:
+                best_bits[:] = [list(bits)]  # wrap so nonlocal-free update works
+                best_slots[:] = [list(slots)]
+            elif bits == best_bits[0]:
+                best_slots.append(list(slots))
+            return
+        for v in range(n):
+            if placed[v]:
+                continue
+            row = tuple(
+                1 if pattern.has_edge(v, slots[j]) else 0 for j in range(i)
+            )
+            if best_bits and [*bits, row] > best_bits[0][: i + 1]:
+                continue
+            placed[v] = True
+            slots.append(v)
+            bits.append(row)
+            place(i + 1, bits)
+            bits.pop()
+            slots.pop()
+            placed[v] = False
+
+    place(0, [])
+
+    def mapping_of(slot_list: List[int]) -> Permutation:
+        mapping = [0] * n
+        for slot, v in enumerate(slot_list):
+            mapping[v] = slot
+        return tuple(mapping)
+
+    order = pattern.partial_order
+    return min(
+        (mapping_of(s) for s in best_slots),
+        key=lambda m: tuple(sorted((m[a], m[b]) for a, b in order)),
+    )
+
+
 def count_order_preserving_automorphisms(pattern: PatternGraph) -> int:
     """Number of automorphisms consistent with the pattern's partial order.
 

@@ -13,7 +13,8 @@ pruning rules (Algorithm 5).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+import hashlib
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import PartialOrderError, PatternError
 
@@ -46,6 +47,8 @@ class PatternGraph:
         "_less_than",
         "_greater_than",
         "_useful_grays_cache",
+        "_canonical_form",
+        "_canonical_key",
     )
 
     def __init__(
@@ -77,6 +80,8 @@ class PatternGraph:
         self._greater_than: List[Tuple[int, ...]] = [()] * num_vertices
         self._set_partial_order(partial_order)
         self._useful_grays_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._canonical_form: Optional[Tuple] = None
+        self._canonical_key: Optional[str] = None
         if num_vertices > 1 and not self._is_connected():
             raise PatternError(f"pattern {name!r} must be connected")
 
@@ -222,6 +227,50 @@ class PatternGraph:
         edges = [(mapping[u], mapping[v]) for u, v in self._edges]
         order = [(mapping[a], mapping[b]) for a, b in self._order]
         return PatternGraph(self._n, edges, order, name or self.name)
+
+    def canonical_form(
+        self,
+    ) -> Tuple[int, Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]]:
+        """Automorphism-invariant canonical form of this pattern.
+
+        ``(num_vertices, edges, partial_order)`` under the canonical
+        relabeling from :func:`repro.pattern.automorphism.canonical_labeling`:
+        any two patterns related by an isomorphism that also carries one
+        partial order onto the other produce the *same* tuple, whatever
+        vertex names they arrived with.  Cached per instance (patterns
+        are immutable).
+        """
+        if self._canonical_form is None:
+            from .automorphism import canonical_labeling
+
+            mapping = canonical_labeling(self)
+            edges = tuple(
+                sorted(
+                    (min(mapping[u], mapping[v]), max(mapping[u], mapping[v]))
+                    for u, v in self._edges
+                )
+            )
+            order = tuple(
+                sorted((mapping[a], mapping[b]) for a, b in self._order)
+            )
+            self._canonical_form = (self._n, edges, order)
+        return self._canonical_form
+
+    def canonical_key(self) -> str:
+        """Compact hex digest of :meth:`canonical_form`.
+
+        The service result cache keys on this so isomorphic pattern
+        inputs (e.g. the same triangle submitted with different vertex
+        labels) hit the same cache entry.  Patterns whose partial orders
+        are *not* isomorphic keep distinct keys — a partial order
+        restricts which instances are listed, so conflating them would
+        serve wrong results.
+        """
+        if self._canonical_key is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(repr(self.canonical_form()).encode("ascii"))
+            self._canonical_key = digest.hexdigest()
+        return self._canonical_key
 
     def minimum_vertex_cover_size(self) -> int:
         """``|MVC|`` — lower bound on supersteps (Theorem 1).

@@ -1,0 +1,135 @@
+"""Result cache: LRU over finished query payloads with byte budgeting.
+
+A resident server pays the expensive part of a query — graph load,
+degree ordering, the bloom index — once; the cache removes the *second*
+expensive part, re-running identical listings.  Keys are
+
+``(graph fingerprint, pattern canonical key, strategy, params)``
+
+so a hit only requires the *answer* to be identical, not the request
+bytes: two isomorphic patterns submitted with different vertex labels
+share an entry (:meth:`~repro.pattern.pattern.PatternGraph.canonical_key`
+is automorphism-invariant), while anything that changes the payload —
+worker count, seed, whether instances were materialised — keys
+separately.
+
+Eviction is least-recently-used under two budgets: an entry count and a
+byte budget measured on the JSON-encoded payload (the same bytes the
+HTTP layer would serve), so one huge ``collect_instances`` result can't
+silently pin the whole cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ResultCache", "cache_key"]
+
+CacheKey = Tuple[str, str, str, Tuple[Tuple[str, Any], ...]]
+
+
+def cache_key(
+    graph_fingerprint: str,
+    pattern_key: str,
+    strategy: str,
+    params: Dict[str, Any],
+) -> CacheKey:
+    """Build the canonical cache key for one query.
+
+    ``params`` is normalised to a sorted tuple of items so dict ordering
+    never splits entries; values must be hashable scalars.
+    """
+    return (
+        graph_fingerprint,
+        pattern_key,
+        strategy,
+        tuple(sorted(params.items())),
+    )
+
+
+class ResultCache:
+    """Thread-safe LRU cache of JSON-shaped result payloads.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget over all cached payloads (JSON-encoded size).
+        ``0`` disables caching entirely (every ``get`` misses).
+    max_entries:
+        Secondary cap on the number of entries.
+    """
+
+    def __init__(self, max_bytes: int = 32 * 1024 * 1024, max_entries: int = 1024):
+        self.max_bytes = int(max_bytes)
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[CacheKey, Tuple[Dict[str, Any], int]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: CacheKey, payload: Dict[str, Any]) -> bool:
+        """Insert ``payload`` under ``key``; returns whether it was kept.
+
+        A payload larger than the whole byte budget is refused outright
+        (it would only evict everything else and then miss anyway).
+        """
+        size = len(json.dumps(payload, separators=(",", ":")).encode())
+        with self._lock:
+            if size > self.max_bytes:
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (payload, size)
+            self._bytes += size
+            while (
+                self._bytes > self.max_bytes
+                or len(self._entries) > self.max_entries
+            ):
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot for ``/metrics`` and the stats endpoint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,389 @@
+"""Job lifecycle: submission, priority scheduling, admission control.
+
+The service runs queries as *jobs* on a bounded thread pool, decoupling
+HTTP request latency from query runtime.  The scheduler is deliberately
+boring — it is the part of the system that must never surprise anyone:
+
+* **monotonic ids** — jobs are numbered in submission order and kept
+  in-memory for the server's lifetime (status is queryable after
+  completion);
+* **FIFO with priority lanes** — ``interactive`` drains before
+  ``batch``; within a lane, strict submission order;
+* **bounded concurrency** — ``max_inflight`` worker threads; nothing
+  else ever runs a query;
+* **admission control** — when the queue already holds
+  ``max_queue_depth`` jobs, submission raises
+  :class:`~repro.exceptions.AdmissionError` (HTTP 429) instead of
+  letting the backlog grow without bound;
+* **clean terminal states** — the runner's exceptions are classified:
+  budget kills (:class:`~repro.exceptions.BudgetExceededError`) become
+  ``killed`` with a structured error, cancellation becomes
+  ``cancelled``, anything else becomes ``failed``; the worker thread
+  always survives.
+
+States: ``queued → running → completed | failed | killed | cancelled``
+(plus ``queued → cancelled`` for jobs cancelled before dispatch, and
+direct-to-``completed`` for cache hits recorded via
+``record_completed``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from ..exceptions import (
+    AdmissionError,
+    BudgetExceededError,
+    JobCancelled,
+    ReproError,
+)
+
+__all__ = ["Job", "JobManager", "JobState", "PRIORITIES", "TERMINAL_STATES"]
+
+
+class JobState:
+    """String constants for the job lifecycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    KILLED = "killed"
+    CANCELLED = "cancelled"
+
+
+#: Priority lanes, highest first: the scheduler drains earlier lanes dry
+#: before touching later ones.
+PRIORITIES = ("interactive", "batch")
+
+TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.FAILED, JobState.KILLED, JobState.CANCELLED}
+)
+
+
+@dataclass
+class Job:
+    """One query's full lifecycle record."""
+
+    id: int
+    spec: Dict[str, Any]
+    priority: str = "interactive"
+    state: str = JobState.QUEUED
+    cached: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+    #: Cooperative cancellation flag, polled by the engine at barriers.
+    abort_event: threading.Event = field(default_factory=threading.Event)
+    #: Per-job tracer (a ``repro.obs.Tracer`` when tracing is on).
+    tracer: Any = None
+    #: Set when the job reaches a terminal state.
+    done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_json(self) -> Dict[str, Any]:
+        """The job's API representation (``GET /jobs/<id>``)."""
+        obj: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "priority": self.priority,
+            "cached": self.cached,
+            "spec": self.spec,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+        }
+        if self.result is not None:
+            obj["result"] = self.result
+        if self.error is not None:
+            obj["error"] = self.error
+        return obj
+
+
+class JobManager:
+    """Bounded worker pool over priority FIFO lanes.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(job) -> payload`` executes one query; exceptions are
+        classified into terminal states (see module docstring).
+    max_inflight:
+        Worker thread count — the hard concurrency bound.
+    max_queue_depth:
+        Queued (not yet running) jobs admitted before submissions are
+        rejected with :class:`~repro.exceptions.AdmissionError`.
+    on_transition:
+        Optional ``f(job, old_state)`` hook, called after every state
+        change under no lock — the service uses it to update metrics.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Job], Dict[str, Any]],
+        max_inflight: int = 2,
+        max_queue_depth: int = 32,
+        on_transition: Optional[Callable[[Job, str], None]] = None,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self._runner = runner
+        self.max_inflight = max_inflight
+        self.max_queue_depth = max_queue_depth
+        self._on_transition = on_transition
+        self._jobs: Dict[int, Job] = {}
+        self._lanes: Dict[str, Deque[Job]] = {
+            lane: deque() for lane in PRIORITIES
+        }
+        self._next_id = 1
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"psgl-job-worker-{i}",
+                daemon=True,
+            )
+            for i in range(max_inflight)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        priority: str = "interactive",
+        tracer: Any = None,
+    ) -> Job:
+        """Admit a job into its priority lane (or raise AdmissionError)."""
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; lanes: {PRIORITIES}"
+            )
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("service is shutting down")
+            queued = sum(len(lane) for lane in self._lanes.values())
+            if queued >= self.max_queue_depth:
+                raise AdmissionError(
+                    f"queue full: {queued} jobs already queued "
+                    f"(max_queue_depth={self.max_queue_depth})",
+                    queued=queued,
+                    limit=self.max_queue_depth,
+                )
+            job = Job(
+                id=self._next_id, spec=spec, priority=priority, tracer=tracer
+            )
+            self._next_id += 1
+            self._jobs[job.id] = job
+            self._lanes[priority].append(job)
+            self._wake.notify()
+        self._notify(job, None)
+        return job
+
+    def record_completed(
+        self,
+        spec: Dict[str, Any],
+        result: Dict[str, Any],
+        priority: str = "interactive",
+        cached: bool = True,
+    ) -> Job:
+        """Record a job that never needs to run (a cache hit).
+
+        The job materialises directly in ``completed`` so ``/jobs/<id>``
+        works uniformly, without occupying a queue slot — cache hits are
+        never rejected by admission control.
+        """
+        now = time.time()
+        with self._lock:
+            job = Job(
+                id=self._next_id,
+                spec=spec,
+                priority=priority,
+                state=JobState.COMPLETED,
+                cached=cached,
+                submitted_at=now,
+                started_at=now,
+                finished_at=now,
+                result=result,
+            )
+            self._next_id += 1
+            self._jobs[job.id] = job
+        job.done.set()
+        self._notify(job, None)
+        return job
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, job_id: int) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return sum(len(lane) for lane in self._lanes.values())
+
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def counts_by_state(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def wait(self, job_id: int, timeout: float = 60.0) -> Job:
+        """Block until the job is terminal (or raise TimeoutError)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"no job {job_id}")
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.state} after {timeout}s")
+        return job
+
+    # ------------------------------------------------------------------
+    # Cancellation and shutdown
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a queued or running job; no-op on terminal jobs.
+
+        Queued jobs transition immediately; running jobs get their
+        ``abort_event`` set and transition when the engine notices at
+        the next superstep boundary.  Returns whether anything happened.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"no job {job_id}")
+        with self._lock:
+            if job.state == JobState.QUEUED:
+                self._lanes[job.priority].remove(job)
+                old = self._finish_locked(
+                    job,
+                    JobState.CANCELLED,
+                    error={
+                        "type": "JobCancelled",
+                        "message": "cancelled while queued",
+                    },
+                )
+            elif job.state == JobState.RUNNING:
+                job.abort_event.set()
+                return True
+            else:
+                return False
+        self._notify(job, old)
+        return True
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting work, cancel the queue, join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            drained: List[Job] = []
+            for lane in self._lanes.values():
+                drained.extend(lane)
+                lane.clear()
+            for job in drained:
+                self._finish_locked(
+                    job,
+                    JobState.CANCELLED,
+                    error={
+                        "type": "JobCancelled",
+                        "message": "service shut down",
+                    },
+                )
+            for job in self._jobs.values():
+                if job.state == JobState.RUNNING:
+                    job.abort_event.set()
+            self._wake.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _next_job_locked(self) -> Optional[Job]:
+        for lane in PRIORITIES:
+            if self._lanes[lane]:
+                return self._lanes[lane].popleft()
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wake:
+                job = self._next_job_locked()
+                while job is None and not self._closed:
+                    self._wake.wait(0.2)
+                    job = self._next_job_locked()
+                if job is None:  # closed and drained
+                    return
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                self._inflight += 1
+            self._notify(job, JobState.QUEUED)
+            try:
+                result = self._runner(job)
+            except JobCancelled as exc:
+                self._finish(job, JobState.CANCELLED, error=_error_json(exc))
+            except BudgetExceededError as exc:
+                self._finish(job, JobState.KILLED, error=exc.to_json())
+            except ReproError as exc:
+                self._finish(job, JobState.FAILED, error=_error_json(exc))
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                self._finish(job, JobState.FAILED, error=_error_json(exc))
+            else:
+                job.result = result
+                self._finish(job, JobState.COMPLETED)
+
+    def _finish(self, job: Job, state: str, error=None) -> None:
+        with self._lock:
+            old = self._finish_locked(job, state, error)
+            self._inflight -= 1
+        self._notify(job, old)
+
+    def _finish_locked(self, job: Job, state: str, error=None) -> str:
+        old = job.state
+        job.state = state
+        job.finished_at = time.time()
+        if error is not None:
+            job.error = error
+        job.done.set()
+        return old
+
+    def _notify(self, job: Job, old_state: Optional[str]) -> None:
+        if self._on_transition is not None:
+            self._on_transition(job, old_state)
+
+
+def _error_json(exc: Exception) -> Dict[str, Any]:
+    return {"type": type(exc).__name__, "message": str(exc)}

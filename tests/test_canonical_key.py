@@ -1,0 +1,107 @@
+"""Tests for pattern canonical keys and graph fingerprints — the two
+invariants the service's result cache is keyed on."""
+
+import random
+
+import pytest
+
+from repro.graph import Graph, complete_graph, erdos_renyi
+from repro.pattern import PatternGraph, paper_patterns, triangle
+from repro.pattern.automorphism import canonical_labeling
+
+
+def relabel(pattern: PatternGraph, perm) -> PatternGraph:
+    """The same abstract pattern under vertex relabeling ``perm``."""
+    return PatternGraph(
+        pattern.num_vertices,
+        [(perm[u], perm[v]) for u, v in pattern.edges()],
+        [(perm[a], perm[b]) for a, b in pattern.partial_order],
+        name=f"{pattern.name}-relabelled",
+    )
+
+
+class TestCanonicalKeyInvariance:
+    @pytest.mark.parametrize("name", ["PG1", "PG2", "PG3", "PG4", "PG5"])
+    def test_invariant_under_relabelings(self, name):
+        pattern = paper_patterns()[name]
+        rng = random.Random(7)
+        key = pattern.canonical_key()
+        for _ in range(8):
+            perm = list(range(pattern.num_vertices))
+            rng.shuffle(perm)
+            assert relabel(pattern, perm).canonical_key() == key
+
+    def test_distinct_across_catalog(self):
+        keys = {p.canonical_key() for p in paper_patterns().values()}
+        assert len(keys) == 5
+
+    def test_order_distinguishes(self):
+        # A partial order restricts which instances are listed, so an
+        # ordered triangle must never share a cache entry with the raw one.
+        ordered = triangle()
+        raw = PatternGraph(3, list(ordered.edges()), name="raw-triangle")
+        assert ordered.canonical_key() != raw.canonical_key()
+
+    def test_edge_order_irrelevant(self):
+        a = PatternGraph(3, [(0, 1), (1, 2), (0, 2)], [(0, 1)])
+        b = PatternGraph(3, [(0, 2), (0, 1), (1, 2)], [(0, 1)])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_name_irrelevant(self):
+        a = PatternGraph(3, [(0, 1), (1, 2), (0, 2)], name="x")
+        b = PatternGraph(3, [(0, 1), (1, 2), (0, 2)], name="y")
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_different_structure_differs(self):
+        path3 = PatternGraph(3, [(0, 1), (1, 2)])
+        tri = PatternGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert path3.canonical_key() != tri.canonical_key()
+
+    def test_canonical_form_is_cached_and_stable(self):
+        p = paper_patterns()["PG3"]
+        assert p.canonical_form() is p.canonical_form()
+        n, edges, order = p.canonical_form()
+        assert n == 4
+        assert edges == tuple(sorted(edges))
+        assert all(u < v for u, v in edges)
+
+
+class TestCanonicalLabeling:
+    def test_is_a_permutation(self):
+        for pattern in paper_patterns().values():
+            perm = canonical_labeling(pattern)
+            assert sorted(perm) == list(range(pattern.num_vertices))
+
+    def test_relabeled_forms_coincide(self):
+        pattern = paper_patterns()["PG5"]
+        perm = [2, 0, 4, 1, 3]
+        assert (
+            relabel(pattern, perm).canonical_form() == pattern.canonical_form()
+        )
+
+
+class TestGraphFingerprint:
+    def test_stable_across_identical_builds(self):
+        a = erdos_renyi(30, 0.2, seed=3)
+        b = erdos_renyi(30, 0.2, seed=3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_differs_across_graphs(self):
+        assert (
+            erdos_renyi(30, 0.2, seed=3).fingerprint()
+            != erdos_renyi(30, 0.2, seed=4).fingerprint()
+        )
+        assert (
+            complete_graph(5).fingerprint() != complete_graph(6).fingerprint()
+        )
+
+    def test_csr_roundtrip_preserves_fingerprint(self):
+        g = erdos_renyi(25, 0.3, seed=9)
+        indptr, indices = g.to_csr()
+        rebuilt = Graph.from_csr(indptr, indices)
+        assert rebuilt.fingerprint() == g.fingerprint()
+
+    def test_hashable(self):
+        g = complete_graph(6)
+        assert hash(g) == hash(g)
+        assert isinstance(hash(g), int)

@@ -174,6 +174,106 @@ class TestStats:
         assert "max degree   : 5" in capsys.readouterr().out
 
 
+class TestErrorHandling:
+    """Library errors become one-line messages with family exit codes."""
+
+    def test_unknown_pattern_exit_3(self, capsys):
+        code = main(["count", "--pattern", "PG99", "--dataset", "randgraph"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert err.startswith("psgl: error:")
+        assert "PG99" in err
+        assert "Traceback" not in err
+
+    def test_bad_pattern_edges_exit_3(self, tmp_path, capsys):
+        path = tmp_path / "k4.txt"
+        write_edge_list(complete_graph(4), path)
+        code = main(
+            ["count", "--pattern-edges", "1-2, 4-5", "--edge-list", str(path)]
+        )
+        assert code == 3
+        assert "connected" in capsys.readouterr().err
+
+    def test_unknown_dataset_exit_4(self, capsys):
+        code = main(["count", "--pattern", "PG1", "--dataset", "nope"])
+        assert code == 4
+        assert "psgl: error:" in capsys.readouterr().err
+
+    def test_missing_edge_list_exit_4(self, capsys):
+        code = main(
+            ["count", "--pattern", "PG1", "--edge-list", "/no/such/file.txt"]
+        )
+        assert code == 4
+        assert "file not found" in capsys.readouterr().err
+
+    def test_bad_strategy_exit_5(self, tmp_path, capsys):
+        path = tmp_path / "k4.txt"
+        write_edge_list(complete_graph(4), path)
+        code = main(
+            [
+                "count", "--pattern", "PG1", "--edge-list", str(path),
+                "--strategy", "psychic",
+            ]
+        )
+        assert code == 5
+        assert "psgl: error:" in capsys.readouterr().err
+
+    def test_exit_code_table_is_ordered_most_specific_first(self):
+        from repro.cli import EXIT_CODES, _exit_code_for
+        from repro.exceptions import (
+            BudgetExceededError,
+            PartialOrderError,
+            ReproError,
+            SimulatedOOMError,
+        )
+
+        for i, (earlier, _) in enumerate(EXIT_CODES):
+            for later, _ in EXIT_CODES[i + 1 :]:
+                assert not issubclass(later, earlier), (
+                    f"{later.__name__} is unreachable behind {earlier.__name__}"
+                )
+        assert _exit_code_for(PartialOrderError("x")) == 3
+        assert _exit_code_for(SimulatedOOMError(9, 1)) == 6
+        assert _exit_code_for(BudgetExceededError("x")) == 6
+        assert _exit_code_for(ReproError("x")) == 7
+
+
+class TestServe:
+    def test_serve_boots_and_answers(self, tmp_path):
+        """Boot the real server on an ephemeral port via the CLI handler."""
+        import threading
+        import time as _time
+
+        from repro.service import ServiceClient
+
+        port_file = tmp_path / "port.txt"
+        edge_list = tmp_path / "k8.txt"
+        write_edge_list(complete_graph(8), edge_list)
+
+        thread = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--edge-list", str(edge_list),
+                    "--port", "0", "--port-file", str(port_file),
+                ],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = _time.monotonic() + 15
+        while not port_file.exists() or not port_file.read_text().strip():
+            assert _time.monotonic() < deadline, "server never wrote the port"
+            _time.sleep(0.05)
+        client = ServiceClient(
+            f"http://127.0.0.1:{port_file.read_text().strip()}"
+        )
+        job = client.count(pattern="PG1")
+        assert job["state"] == "completed"
+        assert job["result"]["count"] == 56  # C(8, 3)
+        assert client.submit(pattern="PG1")["cached"]
+
+
 class TestCustomPattern:
     def test_count_with_pattern_edges(self, tmp_path, capsys):
         path = tmp_path / "k5.txt"
