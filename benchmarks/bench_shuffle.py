@@ -21,12 +21,20 @@ jobs (triangle and square) end to end on the serial and process backends
 under both planes, asserting count/makespan parity and recording wall
 clock plus the columnar ledger's exact wire bytes.
 
-The JSON record lands in ``results/BENCH_shuffle.json``.  Full size
-(the ~122k-edge scale-15 R-MAT the other runtime benchmarks use)::
+A third part compares the **strict** and **pipelined** shuffle modes on
+the columnar plane: traced end-to-end runs recording wall clock, the
+driver's barrier-side time (``merge_ms`` + ``build_ms`` summed over the
+trace), chunks streamed, and the peak in-flight chunk size — asserting
+both bit-parity (count/makespan/gpsis) and the memory bound
+``max_chunk_bytes <= max(watermark, largest single send)``.
+
+The JSON records land in ``results/BENCH_shuffle.json`` and
+``results/BENCH_shuffle_pipelined.json``.  Full size (the ~122k-edge
+scale-15 R-MAT the other runtime benchmarks use)::
 
     PYTHONPATH=src python benchmarks/bench_shuffle.py
 
-CI-friendly smoke run (small graph, separate output file, same parity
+CI-friendly smoke run (small graph, separate output files, same parity
 assertions)::
 
     PYTHONPATH=src python benchmarks/bench_shuffle.py --smoke
@@ -59,6 +67,12 @@ from repro.pattern import paper_patterns
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_shuffle.json"
 SMOKE_RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_shuffle_smoke.json"
+PIPELINED_RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_shuffle_pipelined.json"
+)
+PIPELINED_SMOKE_RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_shuffle_pipelined_smoke.json"
+)
 
 DEFAULT_SCALE = int(os.environ.get("PSGL_BENCH_RMAT_SCALE", "15"))
 DEFAULT_DEG = float(os.environ.get("PSGL_BENCH_RMAT_DEG", "8"))
@@ -243,6 +257,154 @@ def bench_end_to_end(graph, pattern_name, procs, seed, backends=("serial", "proc
     }
 
 
+def bench_shuffle_modes(graph, pattern_name, procs, seed, chunk_gpsis, backends):
+    """Strict vs pipelined shuffle, traced; parity and memory bound asserted."""
+    from repro.obs import Tracer
+
+    pattern = paper_patterns()[pattern_name]
+    runs = {}
+    for backend in backends:
+        for shuffle in ("strict", "pipelined"):
+            tracer = Tracer()
+            kwargs = dict(
+                num_workers=procs,
+                backend=backend,
+                procs=procs,
+                seed=seed,
+                wire="columnar",
+                trace=tracer,
+            )
+            if shuffle == "pipelined":
+                kwargs.update(shuffle="pipelined", chunk_gpsis=chunk_gpsis)
+            started = perf_counter()
+            result = PSgL(graph, **kwargs).run(pattern)
+            wall = perf_counter() - started
+            barriers = tracer.by_kind("barrier")
+            merge_ms = sum(e.data.get("merge_ms", 0.0) for e in barriers)
+            build_ms = sum(
+                e.data.get("build_ms", 0.0) for e in tracer.by_kind("superstep")
+            )
+            entry = {
+                "wall_seconds": round(wall, 4),
+                "count": result.count,
+                "makespan": result.makespan,
+                "gpsis": result.total_gpsis,
+                "wire_bytes": result.ledger.total_wire_bytes(),
+                # The driver's share of the shuffle critical path: result
+                # merging at the barrier plus next-superstep batch builds.
+                "barrier_ms": round(merge_ms + build_ms, 3),
+                "merge_ms": round(merge_ms, 3),
+                "build_ms": round(build_ms, 3),
+            }
+            if shuffle == "pipelined":
+                flushes = tracer.by_kind("chunk_flush")
+                max_chunk = max(
+                    (e.data.get("max_chunk_bytes", 0) for e in barriers), default=0
+                )
+                max_send = max(
+                    (e.data.get("max_send_bytes", 0) for e in barriers), default=0
+                )
+                per_row = max(
+                    (e.data["nbytes"] / e.data["rows"] for e in flushes),
+                    default=0.0,
+                )
+                watermark_bytes = int(chunk_gpsis * per_row) if per_row else None
+                # The bound the mode exists for: no merged chunk larger
+                # than the watermark unless a single send already was.
+                if watermark_bytes is not None:
+                    assert max_chunk <= max(watermark_bytes, max_send), (
+                        pattern_name,
+                        backend,
+                        max_chunk,
+                        watermark_bytes,
+                        max_send,
+                    )
+                entry.update(
+                    chunk_gpsis=chunk_gpsis,
+                    chunks_streamed=len(flushes),
+                    chunks_merged=sum(e.data.get("chunks", 0) for e in barriers),
+                    max_chunk_bytes=max_chunk,
+                    max_send_bytes=max_send,
+                    watermark_bytes=watermark_bytes,
+                )
+            runs[f"{backend}/{shuffle}"] = entry
+
+    reference = runs[f"{backends[0]}/strict"]
+    for key, run in runs.items():
+        assert run["count"] == reference["count"], (key, run["count"])
+        assert run["makespan"] == reference["makespan"], key
+        assert run["gpsis"] == reference["gpsis"], key
+        assert run["wire_bytes"] == reference["wire_bytes"], key
+    reductions = {}
+    for backend in backends:
+        strict_ms = runs[f"{backend}/strict"]["barrier_ms"]
+        pipe_ms = runs[f"{backend}/pipelined"]["barrier_ms"]
+        reductions[backend] = (
+            round(strict_ms / pipe_ms, 2) if pipe_ms else None
+        )
+    return {
+        "pattern": pattern_name,
+        "runs": runs,
+        "count": reference["count"],
+        "barrier_speedup": reductions,
+    }
+
+
+def run_pipelined_benchmark(
+    scale=DEFAULT_SCALE,
+    avg_degree=DEFAULT_DEG,
+    procs=DEFAULT_PROCS,
+    seed=1,
+    chunk_gpsis=8192,
+    backends=("thread", "process"),
+    out_path=PIPELINED_RESULTS_PATH,
+):
+    graph = rmat(scale, avg_degree=avg_degree, seed=seed)
+    # Square listings explode at scale 15; cap PG2's graph as the
+    # end-to-end leg does.
+    pg2_scale = min(scale, 12)
+    pg2_graph = (
+        graph
+        if pg2_scale == scale
+        else rmat(pg2_scale, avg_degree=avg_degree, seed=seed)
+    )
+    record = {
+        "benchmark": "shuffle_pipelined",
+        "graph": {
+            "family": "rmat",
+            "scale": scale,
+            "avg_degree": avg_degree,
+            "seed": seed,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "chunk_gpsis": chunk_gpsis,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "patterns": {
+            "PG1": {
+                "scale": scale,
+                **bench_shuffle_modes(
+                    graph, "PG1", procs, seed, chunk_gpsis, backends
+                ),
+            },
+            "PG2": {
+                "scale": pg2_scale,
+                **bench_shuffle_modes(
+                    pg2_graph, "PG2", procs, seed, chunk_gpsis, backends
+                ),
+            },
+        },
+    }
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
 def run_benchmark(
     scale=DEFAULT_SCALE,
     avg_degree=DEFAULT_DEG,
@@ -312,9 +474,15 @@ def main() -> int:
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--out", type=Path, default=None)
     parser.add_argument(
+        "--chunk-gpsis",
+        type=int,
+        default=None,
+        help="pipelined-shuffle row watermark (default 8192; 512 in smoke)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small graph, serial end-to-end only, separate output file",
+        help="small graph, serial end-to-end only, separate output files",
     )
     args = parser.parse_args()
     if args.smoke:
@@ -329,6 +497,17 @@ def main() -> int:
             end_to_end_backends=("serial",),
             out_path=out,
         )
+        pipelined = run_pipelined_benchmark(
+            scale=args.scale or 10,
+            avg_degree=args.avg_degree,
+            procs=args.procs,
+            seed=args.seed,
+            # A small watermark so the smoke graph streams real chunks.
+            chunk_gpsis=args.chunk_gpsis or 512,
+            backends=("thread",),
+            out_path=PIPELINED_SMOKE_RESULTS_PATH,
+        )
+        pipelined_out = PIPELINED_SMOKE_RESULTS_PATH
     else:
         out = args.out or RESULTS_PATH
         record = run_benchmark(
@@ -339,6 +518,15 @@ def main() -> int:
             rounds=args.rounds or 3,
             out_path=out,
         )
+        pipelined = run_pipelined_benchmark(
+            scale=args.scale or DEFAULT_SCALE,
+            avg_degree=args.avg_degree,
+            procs=args.procs,
+            seed=args.seed,
+            chunk_gpsis=args.chunk_gpsis or 8192,
+            out_path=PIPELINED_RESULTS_PATH,
+        )
+        pipelined_out = PIPELINED_RESULTS_PATH
 
     graph = record["graph"]
     print(
@@ -360,7 +548,20 @@ def main() -> int:
             for key, run in stats["runs"].items()
         )
         print(f"  {name} end-to-end (count={stats['count']:,}): {line}")
-    print(f"wrote {out}")
+    for name, stats in pipelined["patterns"].items():
+        line = ", ".join(
+            f"{key} barrier {run['barrier_ms']:.1f}ms"
+            for key, run in stats["runs"].items()
+        )
+        speedups = ", ".join(
+            f"{backend} {ratio}x"
+            for backend, ratio in stats["barrier_speedup"].items()
+        )
+        print(
+            f"  {name} strict-vs-pipelined (count={stats['count']:,}): "
+            f"{line}; barrier speedup {speedups}"
+        )
+    print(f"wrote {out} and {pipelined_out}")
     return 0
 
 

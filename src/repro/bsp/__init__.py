@@ -7,8 +7,15 @@ from .aggregate import (
     min_aggregator,
     sum_aggregator,
 )
-from .engine import BSPEngine, BSPResult, WIRE_PLANES
+from .engine import (
+    BSPEngine,
+    BSPResult,
+    DEFAULT_CHUNK_GPSIS,
+    SHUFFLE_MODES,
+    WIRE_PLANES,
+)
 from .message import (
+    ChunkedColumnarStore,
     ColumnarMessageStore,
     ColumnarOutbox,
     GpsiBatch,
@@ -28,7 +35,10 @@ __all__ = [
     "sum_aggregator",
     "BSPEngine",
     "BSPResult",
+    "DEFAULT_CHUNK_GPSIS",
+    "SHUFFLE_MODES",
     "WIRE_PLANES",
+    "ChunkedColumnarStore",
     "ColumnarMessageStore",
     "ColumnarOutbox",
     "GpsiBatch",

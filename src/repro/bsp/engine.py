@@ -31,13 +31,23 @@ from ..graph.graph import Graph
 from ..graph.partition import Partition
 from ..obs.tracer import make_tracer
 from .aggregate import AggregatorRegistry
-from .message import ColumnarMessageStore, MessageStore
+from .message import ChunkedColumnarStore, ColumnarMessageStore, MessageStore
 from .metrics import CostLedger
 from .vertex_program import VertexProgram
 from .worker import Worker
 
 #: Wire planes the barrier shuffle can run on (see repro.bsp.message).
 WIRE_PLANES = ("object", "columnar")
+
+#: Shuffle modes for the columnar plane: ``"strict"`` ships each
+#: worker's whole outbox at the barrier (the bit-parity reference);
+#: ``"pipelined"`` streams watermark-sized chunks to the barrier store
+#: while workers are still computing (see docs/runtime.md §5).
+SHUFFLE_MODES = ("strict", "pipelined")
+
+#: Default pipelined-mode flush watermark (rows per chunk) when the
+#: caller sets neither ``chunk_gpsis`` nor ``chunk_bytes``.
+DEFAULT_CHUNK_GPSIS = 8192
 
 
 @dataclass
@@ -98,6 +108,21 @@ class BSPEngine:
         generic per-payload reference) or ``"columnar"`` (packed Gpsi
         buffers, combiner-less Gpsi programs only — see
         :mod:`repro.bsp.message` and ``docs/perf.md``).
+    shuffle:
+        Shuffle mode: ``"strict"`` (default; whole outboxes merge at the
+        barrier in worker-id order — the bit-parity reference) or
+        ``"pipelined"`` (columnar wire only; outboxes stream
+        watermark-sized chunks into the barrier store while workers are
+        still computing, overlapping compute with shuffle and bounding
+        each worker's buffered outbox to one chunk).  Pipelined results
+        are bit-identical to strict: chunks carry ``(sender, seq)`` tags
+        and the store restores strict merge order at the barrier.
+    chunk_gpsis / chunk_bytes:
+        Pipelined-mode flush watermarks — a chunk flushes before an
+        append would cross either the row or the exact-wire-bytes bound
+        (so each chunk is at most ``max(watermark, one send)``).  Both
+        unset defaults to ``chunk_gpsis=DEFAULT_CHUNK_GPSIS``.  Setting
+        one under strict shuffle is refused (loud misconfiguration).
     superstep_budget:
         Per-job superstep budget: unlike ``max_supersteps`` (a safety
         valve that raises :class:`~repro.exceptions.EngineError`),
@@ -126,6 +151,9 @@ class BSPEngine:
         procs: Optional[int] = None,
         trace: Any = None,
         wire: str = "object",
+        shuffle: str = "strict",
+        chunk_gpsis: Optional[int] = None,
+        chunk_bytes: Optional[int] = None,
         superstep_budget: Optional[int] = None,
         wall_budget_seconds: Optional[float] = None,
         abort_event: Optional[Any] = None,
@@ -139,7 +167,34 @@ class BSPEngine:
             raise EngineError(
                 f"unknown wire plane {wire!r}; available: {list(WIRE_PLANES)}"
             )
+        if shuffle not in SHUFFLE_MODES:
+            raise EngineError(
+                f"unknown shuffle mode {shuffle!r}; available: "
+                f"{list(SHUFFLE_MODES)}"
+            )
+        if shuffle == "pipelined":
+            if wire != "columnar":
+                raise EngineError(
+                    "the pipelined shuffle streams packed chunks and "
+                    "requires wire='columnar'; run wire='object' with "
+                    "shuffle='strict'"
+                )
+            if chunk_gpsis is None and chunk_bytes is None:
+                chunk_gpsis = DEFAULT_CHUNK_GPSIS
+            for name, value in (
+                ("chunk_gpsis", chunk_gpsis),
+                ("chunk_bytes", chunk_bytes),
+            ):
+                if value is not None and value < 1:
+                    raise EngineError(f"{name} must be >= 1, got {value}")
+        elif chunk_gpsis is not None or chunk_bytes is not None:
+            raise EngineError(
+                "chunk watermarks only apply to shuffle='pipelined'"
+            )
         self.wire = wire
+        self.shuffle = shuffle
+        self.chunk_gpsis = chunk_gpsis
+        self.chunk_bytes = chunk_bytes
         self.graph = graph
         self.partition = partition
         self.memory_budget = memory_budget
@@ -209,9 +264,13 @@ class BSPEngine:
                 worker_states=[worker.state for worker in self.workers],
                 tracer=tracer,
                 wire=self.wire,
+                shuffle=self.shuffle,
+                chunk_gpsis=self.chunk_gpsis,
+                chunk_bytes=self.chunk_bytes,
             )
         )
         merge_program_state = not executor.inprocess
+        pipelined = self.shuffle == "pipelined"
 
         superstep = 0
         active: List[int] = list(initial)
@@ -253,16 +312,39 @@ class BSPEngine:
                             where=f"superstep {superstep}",
                         )
                 ledger.begin_superstep(superstep)
-                outbox = (
-                    ColumnarMessageStore()
-                    if self.wire == "columnar"
-                    else MessageStore(combiner)
-                )
+                if pipelined:
+                    outbox = ChunkedColumnarStore(
+                        self.partition.owner_array, self.num_workers
+                    )
+                elif self.wire == "columnar":
+                    outbox = ColumnarMessageStore()
+                else:
+                    outbox = MessageStore(combiner)
                 inbound_per_worker = [0] * self.num_workers
 
+                build_started = perf_counter() if tracer.enabled else 0.0
                 batches = self._build_batches(active, inbox)
+                build_ms = (
+                    (perf_counter() - build_started) * 1000.0
+                    if tracer.enabled
+                    else 0.0
+                )
                 step_started = perf_counter() if tracer.enabled else 0.0
-                results = executor.run_superstep(superstep, batches, registry)
+                if pipelined:
+                    # The sink is called from the backend's drain thread
+                    # while workers are still computing — early chunks
+                    # are owner-split (the bulk of the shuffle) before
+                    # the barrier even starts.
+                    chunk_sink = self._make_chunk_sink(
+                        outbox, tracer, superstep
+                    )
+                    results = executor.run_superstep(
+                        superstep, batches, registry, chunk_sink=chunk_sink
+                    )
+                else:
+                    results = executor.run_superstep(
+                        superstep, batches, registry
+                    )
                 step_wall_ms = (
                     (perf_counter() - step_started) * 1000.0
                     if tracer.enabled
@@ -272,7 +354,12 @@ class BSPEngine:
                 # worker-id order (= the serial engine's interleaving).
                 # Under the columnar plane each merge appends a packed
                 # buffer set — the ledger records the exact wire bytes it
-                # shipped, with no per-message encoded_size calls.
+                # shipped, with no per-message encoded_size calls.  Under
+                # pipelined shuffle most chunks already landed; what is
+                # merged here is each worker's residual (its final,
+                # below-watermark chunk), tagged with the next sequence
+                # number after its streamed chunks.
+                merge_started = perf_counter() if tracer.enabled else 0.0
                 for result in results:
                     wid = result.worker_id
                     ledger.add_cost(wid, result.cost)
@@ -282,13 +369,55 @@ class BSPEngine:
                         ledger.add_wire_bytes(wid, result.wire_bytes)
                     for dest, count in enumerate(result.inbound):
                         inbound_per_worker[dest] += count
-                    outbox.merge_batch(result.outbox)
+                    if pipelined:
+                        if len(result.outbox):
+                            outbox.merge_chunk(
+                                wid, result.chunks_flushed, result.outbox
+                            )
+                            if tracer.enabled:
+                                tracer.emit(
+                                    "chunk_deliver",
+                                    superstep=superstep,
+                                    worker=wid,
+                                    seq=result.chunks_flushed,
+                                    rows=len(result.outbox),
+                                    nbytes=result.outbox.nbytes,
+                                    residual=True,
+                                )
+                    else:
+                        outbox.merge_batch(result.outbox)
                     outputs.extend(result.outputs)
                     if merge_program_state:
                         if result.agg_contribs:
                             for name, value in result.agg_contribs.items():
                                 registry.aggregate(name, value)
                         program.merge_state_delta(result.state_delta)
+                if pipelined:
+                    # Relaxed barrier, exact accounting: the store must
+                    # hold precisely what the workers' own counters say
+                    # was sent — any lost, duplicated or torn chunk
+                    # fails the superstep here instead of corrupting it.
+                    outbox.finalize()
+                    sent_rows = sum(r.messages_sent for r in results)
+                    if len(outbox) != sent_rows:
+                        raise EngineError(
+                            "pipelined shuffle accounting broke at "
+                            f"superstep {superstep}: store holds "
+                            f"{len(outbox)} rows, workers sent {sent_rows}"
+                        )
+                    sent_bytes = sum(r.wire_bytes or 0 for r in results)
+                    if outbox.wire_bytes != sent_bytes:
+                        raise EngineError(
+                            "pipelined shuffle accounting broke at "
+                            f"superstep {superstep}: store merged "
+                            f"{outbox.wire_bytes} wire bytes, workers "
+                            f"packed {sent_bytes}"
+                        )
+                merge_ms = (
+                    (perf_counter() - merge_started) * 1000.0
+                    if tracer.enabled
+                    else 0.0
+                )
 
                 if tracer.enabled:
                     # Emitted before the budget check so an OOM-aborted
@@ -303,10 +432,31 @@ class BSPEngine:
                             compute_calls=result.compute_calls,
                             outputs=len(result.outputs),
                         )
+                    for result in results:
+                        for seq, (rows, nbytes, offset_ms) in enumerate(
+                            result.chunk_stats or ()
+                        ):
+                            tracer.emit(
+                                "chunk_flush",
+                                superstep=superstep,
+                                worker=result.worker_id,
+                                wall_ms=offset_ms,
+                                seq=seq,
+                                rows=rows,
+                                nbytes=nbytes,
+                            )
                     barrier_extra = {}
                     if any(r.wire_bytes is not None for r in results):
                         barrier_extra["wire_bytes"] = sum(
                             r.wire_bytes or 0 for r in results
+                        )
+                    if pipelined:
+                        barrier_extra["chunks"] = outbox.chunks_merged
+                        barrier_extra["max_chunk_bytes"] = (
+                            outbox.max_chunk_bytes
+                        )
+                        barrier_extra["max_send_bytes"] = max(
+                            (r.max_send_bytes for r in results), default=0
                         )
                     tracer.emit(
                         "barrier",
@@ -314,6 +464,7 @@ class BSPEngine:
                         live_messages=len(outbox),
                         max_worker_live=max(inbound_per_worker),
                         queue_depths=list(inbound_per_worker),
+                        merge_ms=merge_ms,
                         **barrier_extra,
                     )
                     tracer.emit(
@@ -322,6 +473,7 @@ class BSPEngine:
                         wall_ms=step_wall_ms,
                         active_vertices=len(active),
                         batches=sum(1 for batch in batches if batch),
+                        build_ms=build_ms,
                     )
 
                 registry.end_superstep()
@@ -361,6 +513,31 @@ class BSPEngine:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _make_chunk_sink(store: ChunkedColumnarStore, tracer: Any, superstep: int):
+        """The pipelined barrier's ingest callback for one superstep.
+
+        Backends call it as ``sink(sender, seq, batch)`` from a single
+        drain thread; the store's merge is itself locked, and trace
+        emission stays on that one thread, so no tracer synchronisation
+        is needed.
+        """
+        if not tracer.enabled:
+            return store.merge_chunk
+
+        def sink(sender: int, seq: int, batch: Any) -> None:
+            store.merge_chunk(sender, seq, batch)
+            tracer.emit(
+                "chunk_deliver",
+                superstep=superstep,
+                worker=sender,
+                seq=seq,
+                rows=len(batch),
+                nbytes=batch.nbytes,
+            )
+
+        return sink
+
     def _build_batches(
         self, active: List[int], inbox: MessageStore
     ) -> List[List]:
@@ -372,7 +549,7 @@ class BSPEngine:
         into per-worker packed batches with one vectorised pass over its
         destination column, and payloads stay packed until the executing
         worker materialises them."""
-        if isinstance(inbox, ColumnarMessageStore):
+        if isinstance(inbox, (ColumnarMessageStore, ChunkedColumnarStore)):
             return inbox.build_worker_batches(
                 self.partition.owner_array, self.num_workers
             )

@@ -15,13 +15,38 @@ Two *wire planes* implement the barrier crossing:
   the process backend then ships O(1) buffers per worker pair instead of
   O(#Gpsi) pickled constructor calls.  Gpsi-only, combiner-less; parity
   with the object plane is pinned message-for-message by tests.
+
+The columnar plane additionally supports two *shuffle modes* (see
+:mod:`repro.bsp.engine`):
+
+* **strict** — each worker's whole outbox crosses the barrier at once,
+  merged in worker-id order (the bit-parity reference);
+* **pipelined** — the outbox flushes fixed-size chunks while compute is
+  still running (:class:`ColumnarOutbox` watermarks), and the barrier
+  store (:class:`ChunkedColumnarStore`) ingests and owner-splits each
+  chunk on arrival.  Chunks are tagged ``(sender, seq)``; sorting by
+  that tag at finalisation reproduces the strict merge order exactly,
+  so pipelining changes *when* bytes move, never what is delivered.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+import threading
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
+
+from ..exceptions import EngineError
 
 
 def _psi():
@@ -218,14 +243,80 @@ class ColumnarOutbox:
     :meth:`ColumnarMessageStore.build_worker_batches`, ``take``) groups
     rows stably by first occurrence, so send-order rows and the object
     plane's ``as_batch``-grouped rows deliver identically.
+
+    Under the **pipelined shuffle mode** the outbox also streams: give it
+    a ``flush`` callback plus a ``chunk_gpsis`` (rows) and/or
+    ``chunk_bytes`` watermark and it hands off the pending rows as one
+    packed :class:`GpsiBatch` whenever a watermark is reached, *before*
+    an append that would overflow it — so every flushed chunk is bounded
+    by ``max(watermark, one send)`` in both dimensions and the worker's
+    peak buffered outbox shrinks from O(superstep volume) to O(chunk).
+    Whatever is still pending when compute ends stays in the outbox as
+    the *residual* (``to_batch``); callers ship it with the step result.
     """
 
-    __slots__ = ("_dest_chunks", "_col_chunks", "_count")
+    __slots__ = (
+        "_dest_chunks",
+        "_col_chunks",
+        "_count",
+        "_pending_bytes",
+        "_flush",
+        "_chunk_gpsis",
+        "_chunk_bytes",
+        "chunks_flushed",
+        "flushed_bytes",
+        "max_append_bytes",
+    )
 
-    def __init__(self):
+    def __init__(
+        self,
+        flush: Optional[Callable[["GpsiBatch"], None]] = None,
+        chunk_gpsis: Optional[int] = None,
+        chunk_bytes: Optional[int] = None,
+    ):
         self._dest_chunks: List[np.ndarray] = []
         self._col_chunks: List[Any] = []
         self._count = 0
+        self._pending_bytes = 0
+        self._flush = flush
+        self._chunk_gpsis = chunk_gpsis
+        self._chunk_bytes = chunk_bytes
+        #: Chunks handed to ``flush`` so far (the residual not included).
+        self.chunks_flushed = 0
+        #: Exact bytes of every flushed chunk (residual not included).
+        self.flushed_bytes = 0
+        #: Largest single ``append`` seen — the slack term in the chunk
+        #: size bound ``max(watermark, max_append_bytes)``.
+        self.max_append_bytes = 0
+
+    def _would_overflow(self, n: int, nbytes: int) -> bool:
+        if self._chunk_gpsis is not None and self._count + n > self._chunk_gpsis:
+            return True
+        return (
+            self._chunk_bytes is not None
+            and self._pending_bytes + nbytes > self._chunk_bytes
+        )
+
+    def _at_watermark(self) -> bool:
+        if self._chunk_gpsis is not None and self._count >= self._chunk_gpsis:
+            return True
+        return (
+            self._chunk_bytes is not None
+            and self._pending_bytes >= self._chunk_bytes
+        )
+
+    def flush_pending(self) -> None:
+        """Hand the pending rows to the flush callback as one chunk."""
+        if self._count == 0 or self._flush is None:
+            return
+        batch = self.to_batch()
+        self._dest_chunks = []
+        self._col_chunks = []
+        self._count = 0
+        self._pending_bytes = 0
+        self.chunks_flushed += 1
+        self.flushed_bytes += batch.nbytes
+        self._flush(batch)
 
     def append(self, dest: np.ndarray, columns: Any) -> None:
         """Queue one packed chunk: row ``i`` of ``columns`` goes to data
@@ -233,9 +324,20 @@ class ColumnarOutbox:
         n = len(columns)
         if n == 0:
             return
-        self._dest_chunks.append(np.asarray(dest, dtype=np.int64))
+        dest = np.asarray(dest, dtype=np.int64)
+        nbytes = dest.nbytes + columns.nbytes
+        if nbytes > self.max_append_bytes:
+            self.max_append_bytes = nbytes
+        if self._flush is not None and self._count and self._would_overflow(
+            n, nbytes
+        ):
+            self.flush_pending()
+        self._dest_chunks.append(dest)
         self._col_chunks.append(columns)
         self._count += n
+        self._pending_bytes += nbytes
+        if self._flush is not None and self._at_watermark():
+            self.flush_pending()
 
     def append_message(self, message: Message) -> None:
         """Queue one scalar :class:`Message` (a single-row chunk) — keeps
@@ -401,22 +503,259 @@ class ColumnarMessageStore:
             if len(rows) == 0:
                 batches.append([])
                 continue
-            dest_w = dest[rows]
-            uniq, first_idx, inverse = np.unique(
-                dest_w, return_index=True, return_inverse=True
-            )
-            # Rank each distinct destination by first appearance, then
-            # stable-sort rows by that rank: groups ordered by first
-            # send, rows within a group in send order.
-            rank = np.empty(len(uniq), dtype=np.int64)
-            rank[np.argsort(first_idx, kind="stable")] = np.arange(len(uniq))
-            perm = np.argsort(rank[inverse], kind="stable")
-            first_order = np.argsort(first_idx, kind="stable")
+            vertices, counts, perm = _group_first_send(dest[rows])
             batches.append(
                 PackedWorkerBatch(
-                    vertices=uniq[first_order],
-                    counts=np.bincount(rank[inverse], minlength=len(uniq)),
+                    vertices=vertices,
+                    counts=counts,
                     columns=columns.take(rows[perm]),
+                )
+            )
+        return batches
+
+
+def _group_first_send(
+    dest_w: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stable grouping of one worker's rows by destination vertex.
+
+    Returns ``(vertices, counts, perm)``: distinct destinations in
+    first-send order, the row count per destination, and the permutation
+    that reorders rows so each destination's rows are consecutive (groups
+    by first send, rows within a group in send order) — exactly the
+    activation and delivery order the object plane produces.
+    """
+    uniq, first_idx, inverse = np.unique(
+        dest_w, return_index=True, return_inverse=True
+    )
+    # Rank each distinct destination by first appearance, then
+    # stable-sort rows by that rank: groups ordered by first
+    # send, rows within a group in send order.
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[np.argsort(first_idx, kind="stable")] = np.arange(len(uniq))
+    perm = np.argsort(rank[inverse], kind="stable")
+    first_order = np.argsort(first_idx, kind="stable")
+    return (
+        uniq[first_order],
+        np.bincount(rank[inverse], minlength=len(uniq)),
+        perm,
+    )
+
+
+class ChunkedColumnarStore:
+    """Pipelined-shuffle barrier store: ingests chunks as they stream in.
+
+    The strict :class:`ColumnarMessageStore` receives one whole outbox
+    per worker *after* every worker finished; all shuffle work (owner
+    gather, per-worker row select, copies) then lands on the barrier's
+    critical path.  This store instead accepts fixed-size chunks through
+    :meth:`merge_chunk` **while senders are still computing** and does
+    the owner split per chunk on arrival — overlapping the shuffle with
+    compute and touching each chunk while it is cache-hot.
+
+    Order and parity
+    ----------------
+    Chunks are tagged ``(sender worker id, seq)``; concatenating one
+    sender's chunks in ``seq`` order equals its full outbox, and sorting
+    all chunks by ``(sender, seq)`` at :meth:`finalize` equals the strict
+    store's worker-id merge order.  Every downstream surface
+    (``destinations`` / ``take`` / ``build_worker_batches``) therefore
+    delivers bit-identically to the strict store, no matter how chunks
+    interleaved on the way in.  ``merge_chunk`` is thread-safe (one
+    drain thread per backend feeds it); ``finalize`` validates that each
+    sender's sequence numbers are contiguous from zero, so a lost or
+    duplicated chunk fails loudly instead of corrupting the superstep.
+
+    Accounting is exact: ``len(store)`` is the number of deliverable
+    rows and :attr:`wire_bytes` the exact bytes of every merged chunk —
+    the engine cross-checks both against the workers' own counters at
+    every barrier.
+    """
+
+    __slots__ = (
+        "_owner_of",
+        "_num_workers",
+        "_lock",
+        "_chunk_dests",
+        "_pieces",
+        "_seqs",
+        "_views",
+        "_finalized",
+        "_count",
+        "wire_bytes",
+        "chunks_merged",
+        "max_chunk_bytes",
+    )
+
+    def __init__(self, owner_of: np.ndarray, num_workers: int):
+        self._owner_of = owner_of
+        self._num_workers = num_workers
+        self._lock = threading.Lock()
+        #: ``(sender, seq, dest)`` per chunk — global first-send order.
+        self._chunk_dests: List[Tuple[int, int, np.ndarray]] = []
+        #: Per destination worker: ``(sender, seq, dest_sub, cols_sub)``.
+        self._pieces: List[List[Tuple[int, int, np.ndarray, Any]]] = [
+            [] for _ in range(num_workers)
+        ]
+        self._seqs: Dict[int, set] = {}
+        #: Per destination worker, built lazily by ``take``:
+        #: ``(dest_w, cols_w, {vertex: rows})``.
+        self._views: Dict[int, Tuple[np.ndarray, Any, Dict[int, np.ndarray]]] = {}
+        self._finalized = False
+        self._count = 0
+        #: Exact bytes of every chunk merged so far.
+        self.wire_bytes = 0
+        self.chunks_merged = 0
+        #: Largest single merged chunk — pinned by tests/bench against
+        #: ``max(watermark, largest single send)``.
+        self.max_chunk_bytes = 0
+
+    # -- streaming ingest ----------------------------------------------
+    def merge_chunk(self, sender: int, seq: int, batch: GpsiBatch) -> None:
+        """Ingest chunk ``seq`` of worker ``sender``'s outbox (thread-safe).
+
+        Splits the chunk by destination-owning worker immediately — the
+        shuffle work that strict mode defers to ``build_worker_batches``
+        — so only the final per-vertex grouping remains at the barrier.
+        """
+        with self._lock:
+            if self._finalized:
+                raise EngineError(
+                    f"chunk (worker {sender}, seq {seq}) arrived after the "
+                    "barrier store was finalized"
+                )
+            seqs = self._seqs.setdefault(sender, set())
+            if seq in seqs:
+                raise EngineError(
+                    f"duplicate shuffle chunk (worker {sender}, seq {seq})"
+                )
+            seqs.add(seq)
+            n = len(batch)
+            if n == 0:
+                return
+            self._count += n
+            self.wire_bytes += batch.nbytes
+            self.chunks_merged += 1
+            if batch.nbytes > self.max_chunk_bytes:
+                self.max_chunk_bytes = batch.nbytes
+            self._chunk_dests.append((sender, seq, batch.dest))
+            owner = self._owner_of[batch.dest]
+            for w in np.unique(owner).tolist():
+                rows = np.flatnonzero(owner == w)
+                self._pieces[w].append(
+                    (sender, seq, batch.dest[rows], batch.columns.take(rows))
+                )
+
+    def merge_batch(self, batch: Any) -> None:
+        """Strict-surface guard: pipelined workers must stream chunks."""
+        if batch is not None and len(batch):
+            raise EngineError(
+                "ChunkedColumnarStore receives outboxes via merge_chunk("
+                "sender, seq, batch); merge_batch is the strict-mode surface"
+            )
+
+    def finalize(self) -> None:
+        """Order chunks by ``(sender, seq)`` and validate completeness.
+
+        Idempotent.  After this the store delivers exactly what a strict
+        barrier would have: senders in worker-id order, each sender's
+        rows in send order.
+        """
+        with self._lock:
+            if self._finalized:
+                return
+            for sender in sorted(self._seqs):
+                seqs = sorted(self._seqs[sender])
+                if seqs != list(range(len(seqs))):
+                    raise EngineError(
+                        f"shuffle chunk sequence from worker {sender} has "
+                        f"gaps: got seqs {seqs}"
+                    )
+            self._chunk_dests.sort(key=lambda c: (c[0], c[1]))
+            for pieces in self._pieces:
+                pieces.sort(key=lambda p: (p[0], p[1]))
+            self._finalized = True
+
+    # -- barrier surface ------------------------------------------------
+    def destinations(self) -> List[int]:
+        """Vertices with pending messages, in strict first-send order."""
+        self.finalize()
+        if not self._chunk_dests:
+            return []
+        dest = np.concatenate([d for _, _, d in self._chunk_dests])
+        uniq, first = np.unique(dest, return_index=True)
+        return uniq[np.argsort(first, kind="stable")].tolist()
+
+    def _worker_view(
+        self, w: int
+    ) -> Tuple[np.ndarray, Any, Dict[int, np.ndarray]]:
+        view = self._views.get(w)
+        if view is not None:
+            return view
+        psi = _psi()
+        pieces = self._pieces[w]
+        if pieces:
+            dest_w = np.concatenate([p[2] for p in pieces])
+            cols_w = psi.GpsiColumns.concat([p[3] for p in pieces])
+        else:
+            dest_w = np.empty(0, dtype=np.int64)
+            cols_w = psi.GpsiColumns.empty(0)
+        uniq, inverse = np.unique(dest_w, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        bounds = np.searchsorted(inverse[order], np.arange(len(uniq) + 1))
+        groups = {
+            int(uniq[i]): order[bounds[i] : bounds[i + 1]]
+            for i in range(len(uniq))
+        }
+        view = (dest_w, cols_w, groups)
+        self._views[w] = view
+        return view
+
+    def take(self, vertex: int) -> List[Any]:
+        """Remove and decode the payloads addressed to ``vertex``."""
+        self.finalize()
+        if not (0 <= vertex < len(self._owner_of)):
+            return []
+        _, cols_w, groups = self._worker_view(int(self._owner_of[vertex]))
+        rows = groups.pop(vertex, None)
+        if rows is None:
+            return []
+        self._count -= len(rows)
+        return _psi().unpack_gpsis(cols_w.take(rows))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    # -- vectorised shuffle ---------------------------------------------
+    def build_worker_batches(
+        self, owner_of: np.ndarray, num_workers: int
+    ) -> List[Any]:
+        """Partition into per-worker packed batches (strict delivery order).
+
+        The owner gather and row select already happened chunk-by-chunk
+        at merge time; what remains is one concatenation per worker plus
+        the stable per-vertex grouping — the only shuffle work left on
+        the barrier's critical path under pipelined mode.
+        """
+        self.finalize()
+        psi = _psi()
+        batches: List[Any] = []
+        for w in range(num_workers):
+            pieces = self._pieces[w]
+            if not pieces:
+                batches.append([])
+                continue
+            dest_w = np.concatenate([p[2] for p in pieces])
+            cols_w = psi.GpsiColumns.concat([p[3] for p in pieces])
+            vertices, counts, perm = _group_first_send(dest_w)
+            batches.append(
+                PackedWorkerBatch(
+                    vertices=vertices,
+                    counts=counts,
+                    columns=cols_w.take(perm),
                 )
             )
         return batches

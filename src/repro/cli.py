@@ -93,6 +93,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "process)",
     )
     count.add_argument(
+        "--shuffle",
+        choices=["strict", "pipelined"],
+        default="strict",
+        help="barrier shuffle mode (columnar wire only): strict merges "
+        "whole outboxes at the barrier; pipelined streams watermark-"
+        "sized chunks while workers still expand (identical results)",
+    )
+    count.add_argument(
+        "--chunk-gpsis",
+        type=int,
+        default=None,
+        help="pipelined shuffle: flush a chunk every N queued Gpsis",
+    )
+    count.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=None,
+        help="pipelined shuffle: flush a chunk every N packed wire bytes",
+    )
+    count.add_argument(
         "--no-batch-expand",
         action="store_true",
         help="pin the scalar per-Gpsi expansion path even under "
@@ -243,6 +263,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
         backend=args.backend,
         procs=args.procs,
         wire=args.wire,
+        shuffle=args.shuffle,
+        chunk_gpsis=args.chunk_gpsis,
+        chunk_bytes=args.chunk_bytes,
         batch_expand=not args.no_batch_expand,
         trace=tracer,
     )
@@ -258,6 +281,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
     print(f"strategy   : {result.strategy}")
     print(f"backend    : {args.backend}")
     print(f"wire plane : {args.wire}")
+    print(f"shuffle    : {args.shuffle}")
     print(f"wall time  : {result.wall_seconds:.3f}s")
     if tracer is not None and args.trace:
         path = Path(args.trace)

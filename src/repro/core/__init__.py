@@ -1,6 +1,11 @@
 """PSgL core: the paper's primary contribution."""
 
-from .batch_expand import BatchOutcome, PendingChildren, expand_columns
+from .batch_expand import (
+    BatchOutcome,
+    PendingChildren,
+    coalesce_columns,
+    expand_columns,
+)
 from .bloom import BloomFilter, optimal_parameters
 from .candidates import candidate_set, candidate_set_scalar, combination_consistent
 from .codec import (
@@ -52,6 +57,7 @@ from .psi import Gpsi, GpsiColumns, UNMAPPED, pack_gpsis, unpack_gpsis
 __all__ = [
     "BatchOutcome",
     "PendingChildren",
+    "coalesce_columns",
     "expand_columns",
     "BloomFilter",
     "optimal_parameters",

@@ -406,6 +406,16 @@ class PSgL:
         delivery — same embeddings, ledgers and statistics, much less
         driver-side shuffle work on the process backend (see
         ``docs/perf.md``).
+    shuffle:
+        Barrier shuffle mode (columnar wire only): ``"strict"``
+        (default; whole outboxes cross at the barrier — the bit-parity
+        reference) or ``"pipelined"`` (outboxes stream watermark-sized
+        chunks to the barrier store while workers still expand,
+        overlapping compute with shuffle — same embeddings, counts and
+        ledgers, pinned by tests; see ``docs/runtime.md`` §5).
+    chunk_gpsis / chunk_bytes:
+        Pipelined-mode flush watermarks (rows / exact wire bytes per
+        chunk); both unset picks the engine default.
     batch_expand:
         Whether the columnar wire plane also runs the *batched expansion
         kernel* (:mod:`repro.core.batch_expand`), expanding each worker's
@@ -452,6 +462,9 @@ class PSgL:
         backend: str = "serial",
         procs: Optional[int] = None,
         wire: str = "object",
+        shuffle: str = "strict",
+        chunk_gpsis: Optional[int] = None,
+        chunk_bytes: Optional[int] = None,
         batch_expand: Optional[bool] = None,
         trace: object = None,
         ordered: Optional[OrderedGraph] = None,
@@ -489,6 +502,9 @@ class PSgL:
         self.backend = backend
         self.procs = procs
         self.wire = wire
+        self.shuffle = shuffle
+        self.chunk_gpsis = chunk_gpsis
+        self.chunk_bytes = chunk_bytes
         self.batch_expand = True if batch_expand is None else batch_expand
         self.trace = trace
         self.superstep_budget = superstep_budget
@@ -582,6 +598,9 @@ class PSgL:
             backend=self.backend,
             procs=self.procs,
             wire=self.wire,
+            shuffle=self.shuffle,
+            chunk_gpsis=self.chunk_gpsis,
+            chunk_bytes=self.chunk_bytes,
             trace=self.trace,
             superstep_budget=self.superstep_budget,
             wall_budget_seconds=self.wall_budget_seconds,

@@ -27,7 +27,9 @@ the runtime backends emit these kinds (schema ``repro.obs/v1``):
     block (``indptr``/``indices``/``aux``) and the total.
 ``superstep``
     One per superstep: wall time of the executor's ``run_superstep``
-    call, the active-vertex count, and the number of non-empty batches.
+    call, the active-vertex count, the number of non-empty batches, and
+    ``build_ms`` (driver time spent building the per-worker batches —
+    the pre-barrier half of the shuffle's critical path).
 ``worker``
     One per (superstep, logical worker with a non-empty batch): the
     ledger delta that worker produced — ``cost``, ``messages``,
@@ -37,7 +39,24 @@ the runtime backends emit these kinds (schema ``repro.obs/v1``):
 ``barrier``
     One per superstep, *before* the memory-budget check (so OOM-aborted
     runs still record their fatal barrier): total live messages, the
-    largest single worker's queue, and the per-worker queue depths.
+    largest single worker's queue, the per-worker queue depths, and
+    ``merge_ms`` (driver time merging worker results — the post-compute
+    half of the shuffle's critical path).  Under pipelined shuffle the
+    event adds ``chunks`` (chunks merged this superstep),
+    ``max_chunk_bytes`` and ``max_send_bytes`` — together they pin the
+    in-flight memory bound ``max_chunk_bytes <= max(watermark,
+    max_send_bytes)``.
+``chunk_flush``
+    Pipelined shuffle, one per streamed chunk: the sending worker,
+    chunk ``seq``, ``rows``/``nbytes``, and ``wall_ms`` as the offset
+    from the worker batch's start — showing *when during compute* the
+    chunk left the worker.
+``chunk_deliver``
+    Pipelined shuffle, one per chunk merged into the barrier store
+    (``residual: true`` marks a worker's final below-watermark chunk,
+    merged at the barrier with the step result).  ``chunk_deliver``
+    events interleaving with still-running compute is the overlap the
+    mode exists for.
 
 Workers whose batch was empty in a superstep emit no ``worker`` event;
 their cost/message/compute contribution is zero by construction.

@@ -34,7 +34,8 @@ the superstep barrier rather than mid-superstep live values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -76,6 +77,15 @@ class JobSpec:
     #: objects, the generic reference) or ``"columnar"`` (packed Gpsi
     #: buffers; see :mod:`repro.bsp.message`).
     wire: str = "object"
+    #: Shuffle mode: ``"strict"`` (whole outboxes cross at the barrier,
+    #: the bit-parity reference) or ``"pipelined"`` (outboxes stream
+    #: fixed-size chunks to the barrier store while compute runs; the
+    #: engine passes ``chunk_sink`` to ``run_superstep``).  Columnar only.
+    shuffle: str = "strict"
+    #: Pipelined-mode flush watermarks (rows / exact wire bytes); a chunk
+    #: flushes before an append would overflow either one.
+    chunk_gpsis: Optional[int] = None
+    chunk_bytes: Optional[int] = None
 
 
 @dataclass
@@ -104,7 +114,21 @@ class WorkerStepResult:
     worker_state: Optional[Dict[str, Any]] = None
     #: Exact bytes of the packed outbox buffers (columnar plane only;
     #: ``None`` when the object plane's size is payload-dependent).
+    #: Under pipelined shuffle this covers streamed chunks *plus* the
+    #: residual ``outbox``, so the accounting stays mode-invariant.
     wire_bytes: Optional[int] = None
+    #: Pipelined shuffle: chunks streamed through the chunk sink before
+    #: this result returned (the residual ``outbox`` rides on top with
+    #: sequence number ``chunks_flushed``).  The process backend's drain
+    #: loop uses the sum over results as its completion count.
+    chunks_flushed: int = 0
+    #: Pipelined shuffle: ``(rows, nbytes, offset_ms)`` per streamed
+    #: chunk, offsets measured from the worker batch's start — feeds the
+    #: ``chunk_flush`` trace events.
+    chunk_stats: Optional[List[Tuple[int, int, float]]] = None
+    #: Largest single ``send_columns`` append (columnar compute only) —
+    #: the slack term in the chunk-size bound.
+    max_send_bytes: int = 0
 
 
 class WorkerAggregators:
@@ -158,6 +182,9 @@ def run_worker_batch(
     combiner: Any,
     collect_delta: bool,
     wire: str = "object",
+    chunk_sink: Optional[Callable[[int, int, Any], None]] = None,
+    chunk_gpsis: Optional[int] = None,
+    chunk_bytes: Optional[int] = None,
 ) -> WorkerStepResult:
     """Run one logical worker's compute batch and collect its effects.
 
@@ -178,6 +205,16 @@ def run_worker_batch(
     :class:`~repro.bsp.message.GpsiBatch` before it travels back — on
     the process backend both directions therefore cross the pool
     boundary as a handful of numpy buffers either way.
+
+    ``chunk_sink`` enables the pipelined shuffle on the columnar compute
+    path: the outbox flushes watermark-sized chunks through
+    ``chunk_sink(worker_id, seq, batch)`` *while compute is running*;
+    whatever is pending at the end returns as the residual ``outbox``
+    with ``chunks_flushed`` recording how many chunks already streamed.
+    The scalar compute path never streams (its outbox materialises as
+    objects and packs once at the end) — with a sink set it simply
+    returns everything as the residual, which degrades to strict-mode
+    behaviour without a special case anywhere downstream.
     """
     columnar_compute = (
         isinstance(batch, PackedWorkerBatch)
@@ -194,7 +231,27 @@ def run_worker_batch(
         acc["cost"] += units
 
     if columnar_compute:
-        col_outbox = ColumnarOutbox()
+        if chunk_sink is not None:
+            chunk_stats: List[Tuple[int, int, float]] = []
+            batch_started = perf_counter()
+
+            def _flush(chunk: GpsiBatch) -> None:
+                seq = len(chunk_stats)
+                chunk_stats.append(
+                    (
+                        len(chunk),
+                        chunk.nbytes,
+                        (perf_counter() - batch_started) * 1000.0,
+                    )
+                )
+                chunk_sink(worker_id, seq, chunk)
+
+            col_outbox = ColumnarOutbox(
+                flush=_flush, chunk_gpsis=chunk_gpsis, chunk_bytes=chunk_bytes
+            )
+        else:
+            chunk_stats = None
+            col_outbox = ColumnarOutbox()
         owner_array = partition.owner_array
 
         def send(message: Message) -> None:
@@ -249,20 +306,29 @@ def run_worker_batch(
             compute_calls += 1
             program.compute(ctx, payloads)
 
+    chunks_flushed = 0
+    max_send_bytes = 0
     if columnar_compute:
         outbox = col_outbox.to_batch()
-        wire_bytes = outbox.nbytes
+        wire_bytes = col_outbox.flushed_bytes + outbox.nbytes
+        chunks_flushed = col_outbox.chunks_flushed
+        max_send_bytes = col_outbox.max_append_bytes
     elif wire == "columnar":
         outbox = GpsiBatch.pack(local_outbox.as_batch())
         wire_bytes = outbox.nbytes
+        chunk_stats = None
     else:
         outbox = local_outbox.as_batch()
         wire_bytes = None
+        chunk_stats = None
 
     return WorkerStepResult(
         worker_id=worker_id,
         outbox=outbox,
         wire_bytes=wire_bytes,
+        chunks_flushed=chunks_flushed,
+        chunk_stats=chunk_stats if chunk_sink is not None else None,
+        max_send_bytes=max_send_bytes,
         messages_sent=acc["sent"],
         inbound=inbound,
         compute_calls=compute_calls,
@@ -302,8 +368,17 @@ class SuperstepExecutor:
         superstep: int,
         batches: List[WorkerBatch],
         registry: Any,
+        chunk_sink: Optional[Callable[[int, int, Any], None]] = None,
     ) -> List[WorkerStepResult]:
-        """Run all non-empty batches; ``batches[w]`` belongs to worker ``w``."""
+        """Run all non-empty batches; ``batches[w]`` belongs to worker ``w``.
+
+        ``chunk_sink`` is passed (non-None) only under pipelined shuffle:
+        the backend must route every worker's flushed chunks into it —
+        from whatever thread it likes, the sink is thread-safe — and must
+        not return until all chunks of this superstep were delivered.
+        Backends without a streaming path may ignore it (workers then
+        return whole outboxes as residuals: strict-mode degradation).
+        """
         raise NotImplementedError
 
     def close(self) -> None:

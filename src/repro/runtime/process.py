@@ -28,8 +28,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import queue as queue_mod
+import threading
 from concurrent.futures import ProcessPoolExecutor, wait
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Any, Dict, List, Optional
 
 from .executor import (
@@ -54,6 +56,9 @@ _child_program: Any = None
 _child_partition: Any = None
 _child_num_workers: int = 0
 _child_wire: str = "object"
+_child_chunk_queue: Any = None
+_child_chunk_gpsis: Optional[int] = None
+_child_chunk_bytes: Optional[int] = None
 
 
 def _init_child(
@@ -62,15 +67,22 @@ def _init_child(
     partition: Any,
     num_workers: int,
     wire: str,
+    chunk_queue: Any = None,
+    chunk_gpsis: Optional[int] = None,
+    chunk_bytes: Optional[int] = None,
 ) -> None:
     global _child_graph, _child_program, _child_partition, _child_num_workers
-    global _child_wire
+    global _child_wire, _child_chunk_queue, _child_chunk_gpsis
+    global _child_chunk_bytes
     _child_graph = attach_shared_graph(handle)
     _child_program = pickle.loads(program_bytes)
     _child_program.bind_shared(_child_graph.graph, _child_graph.aux)
     _child_partition = partition
     _child_num_workers = num_workers
     _child_wire = wire
+    _child_chunk_queue = chunk_queue
+    _child_chunk_gpsis = chunk_gpsis
+    _child_chunk_bytes = chunk_bytes
 
 
 def _run_child_batch(
@@ -84,6 +96,17 @@ def _run_child_batch(
     # once per submitted worker); each child unpickles its copy locally.
     snapshot = pickle.loads(snapshot_bytes)
     shim = WorkerAggregators(fresh_aggregators(_child_program), snapshot)
+    if _child_chunk_queue is not None:
+        cq = _child_chunk_queue
+
+        def chunk_sink(wid: int, seq: int, chunk: Any) -> None:
+            # Bounded mp.Queue: a full queue blocks the sender here, so
+            # in-flight chunk memory stays O(queue depth × chunk bytes)
+            # however fast workers expand.
+            cq.put((wid, seq, chunk))
+
+    else:
+        chunk_sink = None
     result = run_worker_batch(
         program=_child_program,
         graph=_child_graph.graph,
@@ -97,6 +120,9 @@ def _run_child_batch(
         combiner=_child_program.message_combiner(),
         collect_delta=True,
         wire=_child_wire,
+        chunk_sink=chunk_sink,
+        chunk_gpsis=_child_chunk_gpsis,
+        chunk_bytes=_child_chunk_bytes,
     )
     # The state dict was mutated in place; ship it back so the logical
     # worker can land on a different pool process next superstep.
@@ -126,6 +152,7 @@ class ProcessExecutor(SuperstepExecutor):
         self._export: Optional[SharedGraphExport] = None
         self._states: List[Dict[str, Any]] = []
         self._spec: Optional[JobSpec] = None
+        self._chunk_queue: Any = None
 
     def start(self, spec: JobSpec) -> None:
         self._spec = spec
@@ -150,10 +177,16 @@ class ProcessExecutor(SuperstepExecutor):
             methods = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in methods else "spawn"
         procs = self._procs or default_procs(spec.num_workers)
+        mp_context = multiprocessing.get_context(method)
+        if spec.shuffle == "pipelined":
+            # One queue for the whole job, created from the pool's own
+            # context so it survives spawn pickling.  Bounded: a full
+            # queue blocks senders, capping driver-side in-flight chunks.
+            self._chunk_queue = mp_context.Queue(maxsize=max(8, 2 * procs))
         try:
             self._pool = ProcessPoolExecutor(
                 max_workers=procs,
-                mp_context=multiprocessing.get_context(method),
+                mp_context=mp_context,
                 initializer=_init_child,
                 initargs=(
                     self._export.handle,
@@ -161,6 +194,9 @@ class ProcessExecutor(SuperstepExecutor):
                     spec.partition,
                     spec.num_workers,
                     spec.wire,
+                    self._chunk_queue,
+                    spec.chunk_gpsis,
+                    spec.chunk_bytes,
                 ),
             )
         except Exception:
@@ -179,9 +215,49 @@ class ProcessExecutor(SuperstepExecutor):
             )
 
     def run_superstep(
-        self, superstep: int, batches: List[WorkerBatch], registry: Any
+        self,
+        superstep: int,
+        batches: List[WorkerBatch],
+        registry: Any,
+        chunk_sink: Any = None,
     ) -> List[WorkerStepResult]:
         snapshot_bytes = pickle.dumps(registry.snapshot())
+
+        # Pipelined shuffle: children put flushed chunks on the shared
+        # mp.Queue while they compute; a driver-side drain thread feeds
+        # them into the engine's sink concurrently with the still-running
+        # futures — this is where shuffle overlaps compute for real.
+        drain_thread: Optional[threading.Thread] = None
+        received = [0]
+        sink_errors: List[BaseException] = []
+        stop = threading.Event()
+        if chunk_sink is not None:
+            if self._chunk_queue is None:
+                raise RuntimeError(
+                    "executor was started without shuffle='pipelined'"
+                )
+            cq = self._chunk_queue
+
+            def _drain() -> None:
+                while True:
+                    try:
+                        item = cq.get(timeout=0.05)
+                    except queue_mod.Empty:
+                        if stop.is_set():
+                            return
+                        continue
+                    try:
+                        chunk_sink(*item)
+                    except BaseException as exc:  # noqa: BLE001
+                        sink_errors.append(exc)
+                    finally:
+                        received[0] += 1
+
+            drain_thread = threading.Thread(
+                target=_drain, name="psgl-chunk-drain", daemon=True
+            )
+            drain_thread.start()
+
         futures = [
             self._pool.submit(
                 _run_child_batch,
@@ -205,16 +281,54 @@ class ProcessExecutor(SuperstepExecutor):
             for future in futures:
                 future.cancel()
             wait(futures)
+            if drain_thread is not None:
+                stop.set()
+                drain_thread.join()
+                self._purge_chunk_queue()
             raise
+        if drain_thread is not None:
+            # mp.Queue puts are asynchronous (a feeder thread ships the
+            # bytes), so a child's future can resolve before its last
+            # chunk arrives.  Each result carries its exact flush count;
+            # wait until the drain consumed every expected chunk.
+            expected = sum(result.chunks_flushed for result in results)
+            deadline = perf_counter() + 60.0
+            while received[0] < expected:
+                if perf_counter() > deadline:
+                    stop.set()
+                    drain_thread.join()
+                    raise RuntimeError(
+                        "pipelined shuffle lost chunks: received "
+                        f"{received[0]} of {expected} at superstep "
+                        f"{superstep}"
+                    )
+                sleep(0.0005)
+            stop.set()
+            drain_thread.join()
+            if sink_errors:
+                raise sink_errors[0]
         for result in results:
             self._states[result.worker_id] = result.worker_state
             result.worker_state = None  # driver-side bookkeeping only
         return results
 
+    def _purge_chunk_queue(self) -> None:
+        """Best-effort drop of undelivered chunks after a failed step."""
+        if self._chunk_queue is None:
+            return
+        try:
+            while True:
+                self._chunk_queue.get_nowait()
+        except queue_mod.Empty:
+            pass
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._chunk_queue is not None:
+            self._chunk_queue.close()
+            self._chunk_queue = None
         if self._export is not None:
             self._export.close()
             self._export = None

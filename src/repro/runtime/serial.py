@@ -38,8 +38,17 @@ class SerialExecutor(SuperstepExecutor):
             )
 
     def run_superstep(
-        self, superstep: int, batches: List[WorkerBatch], registry: Any
+        self,
+        superstep: int,
+        batches: List[WorkerBatch],
+        registry: Any,
+        chunk_sink: Any = None,
     ) -> List[WorkerStepResult]:
+        # ``chunk_sink`` (pipelined shuffle) is deliberately ignored: one
+        # thread computes every batch in sequence, so streaming chunks
+        # early could overlap with nothing.  Workers return whole
+        # outboxes as residuals and the chunked barrier store receives
+        # them at the merge — strict-mode behaviour, bit for bit.
         spec = self._spec
         results = []
         for worker_id, batch in enumerate(batches):

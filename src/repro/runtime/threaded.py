@@ -17,7 +17,9 @@ costs.
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import ThreadPoolExecutor
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
 from time import perf_counter
 from typing import Any, List, Optional
 
@@ -75,10 +77,45 @@ class ThreadExecutor(SuperstepExecutor):
             )
 
     def run_superstep(
-        self, superstep: int, batches: List[WorkerBatch], registry: Any
+        self,
+        superstep: int,
+        batches: List[WorkerBatch],
+        registry: Any,
+        chunk_sink: Any = None,
     ) -> List[WorkerStepResult]:
         spec = self._spec
         snapshot = registry.snapshot()
+
+        # Pipelined shuffle: workers push flushed chunks onto a bounded
+        # queue (backpressure caps in-flight memory at O(depth × chunk))
+        # and a single drain thread feeds the engine's sink — the sink
+        # touches the barrier store, so one consumer keeps it race-free
+        # without per-chunk lock contention from the pool.
+        chunk_queue: Optional[queue.Queue] = None
+        drain_thread: Optional[threading.Thread] = None
+        sink_errors: List[BaseException] = []
+        worker_sink = None
+        if chunk_sink is not None:
+            pool_width = self._procs or min(spec.num_workers, 4)
+            chunk_queue = queue.Queue(maxsize=max(4, 2 * pool_width))
+
+            def _drain() -> None:
+                while True:
+                    item = chunk_queue.get()
+                    if item is None:
+                        return
+                    try:
+                        chunk_sink(*item)
+                    except BaseException as exc:  # noqa: BLE001
+                        sink_errors.append(exc)
+
+            drain_thread = threading.Thread(
+                target=_drain, name="psgl-chunk-drain", daemon=True
+            )
+            drain_thread.start()
+
+            def worker_sink(worker_id: int, seq: int, batch: Any) -> None:
+                chunk_queue.put((worker_id, seq, batch))
 
         def run_one(worker_id: int, batch: WorkerBatch) -> WorkerStepResult:
             program = self._replicas[worker_id]
@@ -96,6 +133,9 @@ class ThreadExecutor(SuperstepExecutor):
                 combiner=program.message_combiner(),
                 collect_delta=True,
                 wire=spec.wire,
+                chunk_sink=worker_sink,
+                chunk_gpsis=spec.chunk_gpsis,
+                chunk_bytes=spec.chunk_bytes,
             )
 
         futures = [
@@ -103,7 +143,19 @@ class ThreadExecutor(SuperstepExecutor):
             for w, batch in enumerate(batches)
             if batch
         ]
-        return [future.result() for _, future in futures]
+        try:
+            results = [future.result() for _, future in futures]
+        finally:
+            if drain_thread is not None:
+                # Producers must be done before the sentinel goes in, or
+                # a late put could land behind it and block forever on a
+                # full queue once the drain exits.
+                wait([future for _, future in futures])
+                chunk_queue.put(None)
+                drain_thread.join()
+        if sink_errors:
+            raise sink_errors[0]
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

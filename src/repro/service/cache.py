@@ -118,10 +118,15 @@ class ResultCache:
     # ------------------------------------------------------------------
     @property
     def bytes_used(self) -> int:
-        return self._bytes
+        # ``_bytes`` is mutated under the lock in ``put``/``clear``; an
+        # unlocked read can observe the window between an insert and its
+        # evictions and report a figure above ``max_bytes``.
+        with self._lock:
+            return self._bytes
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
         """Snapshot for ``/metrics`` and the stats endpoint."""

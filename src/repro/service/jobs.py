@@ -74,9 +74,16 @@ class Job:
     priority: str = "interactive"
     state: str = JobState.QUEUED
     cached: bool = False
+    #: Wall-clock timestamps, for display only (``to_json``).  Never do
+    #: duration math on these: ``time.time()`` is steppable (NTP, manual
+    #: clock changes) and a step mid-job would yield negative durations.
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Monotonic counterparts — the only clock durations are derived from.
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     result: Optional[Dict[str, Any]] = None
     error: Optional[Dict[str, Any]] = None
     #: Cooperative cancellation flag, polled by the engine at barriers.
@@ -88,15 +95,15 @@ class Job:
 
     @property
     def queue_seconds(self) -> Optional[float]:
-        if self.started_at is None:
+        if self.started_mono is None:
             return None
-        return self.started_at - self.submitted_at
+        return self.started_mono - self.submitted_mono
 
     @property
     def run_seconds(self) -> Optional[float]:
-        if self.started_at is None or self.finished_at is None:
+        if self.started_mono is None or self.finished_mono is None:
             return None
-        return self.finished_at - self.started_at
+        return self.finished_mono - self.started_mono
 
     def to_json(self) -> Dict[str, Any]:
         """The job's API representation (``GET /jobs/<id>``)."""
@@ -219,6 +226,7 @@ class JobManager:
         never rejected by admission control.
         """
         now = time.time()
+        mono = time.monotonic()
         with self._lock:
             job = Job(
                 id=self._next_id,
@@ -229,6 +237,9 @@ class JobManager:
                 submitted_at=now,
                 started_at=now,
                 finished_at=now,
+                submitted_mono=mono,
+                started_mono=mono,
+                finished_mono=mono,
                 result=result,
             )
             self._next_id += 1
@@ -349,6 +360,7 @@ class JobManager:
                     return
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+                job.started_mono = time.monotonic()
                 self._inflight += 1
             self._notify(job, JobState.QUEUED)
             try:
@@ -375,6 +387,7 @@ class JobManager:
         old = job.state
         job.state = state
         job.finished_at = time.time()
+        job.finished_mono = time.monotonic()
         if error is not None:
             job.error = error
         job.done.set()

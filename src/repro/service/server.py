@@ -225,6 +225,10 @@ class SubgraphService:
             "psgl_service_job_wall_seconds",
             "Executed-job wall time (queue time excluded).",
         )
+        self._m_dropped = self.registry.counter(
+            "psgl_http_dropped_responses",
+            "Responses the client disconnected before receiving.",
+        )
 
         self.manager = JobManager(
             runner=self._run_job,
@@ -456,6 +460,9 @@ class SubgraphService:
     def record_http(self, method: str, code: int) -> None:
         self._m_http.labels(method=method, code=str(code)).inc()
 
+    def record_dropped_response(self) -> None:
+        self._m_dropped.inc()
+
 
 # ----------------------------------------------------------------------
 # HTTP layer
@@ -478,12 +485,22 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     # -- response helpers ------------------------------------------------
     def _send(self, code: int, body: bytes, content_type: str) -> None:
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        # Record before writing: once the client has read this response
+        # it may immediately scrape /metrics on another connection, and
+        # that scrape must already see this request counted.
         self.service.record_http(self.command, code)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response.  Its problem, not ours:
+            # count it and stay silent — letting the exception escape
+            # would splat a traceback onto stderr per impatient client.
+            self.close_connection = True
+            self.service.record_dropped_response()
 
     def _send_json(self, code: int, obj: Any) -> None:
         self._send(

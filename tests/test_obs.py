@@ -152,15 +152,21 @@ class TestBackendIndependence:
     trace identically to a serial run."""
 
     def test_serial_vs_process_traces_identical(self):
+        def rows(tracer):
+            # Wall-time diagnostics (barrier merge_ms) are inherently
+            # backend-dependent; every semantic field must be identical.
+            out = []
+            for e in tracer.events:
+                if e.kind not in ("worker", "barrier"):
+                    continue
+                row = e.to_json()
+                row.get("data", {}).pop("merge_ms", None)
+                out.append(row)
+            return out
+
         t_serial, r_serial = traced_run("serial")
         t_proc, r_proc = traced_run("process", procs=2)
-        serial_rows = [
-            e.to_json() for e in t_serial.events if e.kind in ("worker", "barrier")
-        ]
-        proc_rows = [
-            e.to_json() for e in t_proc.events if e.kind in ("worker", "barrier")
-        ]
-        assert serial_rows == proc_rows
+        assert rows(t_serial) == rows(t_proc)
         assert t_proc.worker_totals() == r_serial.ledger.worker_totals()
 
     def test_process_trace_records_shared_export_sizes(self):
