@@ -163,10 +163,15 @@ def bench_expand(graph, pattern_name, max_messages, rounds, seed):
     }
 
 
-def bench_end_to_end(graph, pattern_name, procs, seed, backends):
+def bench_end_to_end(
+    graph, pattern_name, procs, seed, backends, kernel_choice="auto",
+    steal=False,
+):
     """Whole columnar listings, kernel on vs. pinned off; parity asserted
     on the count (= the ``found`` aggregator total), the makespan and the
-    per-worker cost-ledger totals."""
+    per-worker cost-ledger totals.  ``kernel_choice``/``steal`` apply the
+    probe-kernel and work-stealing knobs to every run (results stay
+    bit-identical by contract, so the parity asserts still hold)."""
     pattern = paper_patterns()[pattern_name]
     runs = {}
     reference_totals = None
@@ -181,6 +186,8 @@ def bench_end_to_end(graph, pattern_name, procs, seed, backends):
                 seed=seed,
                 wire="columnar",
                 batch_expand=kernel,
+                kernel=kernel_choice if kernel else "numpy",
+                steal=steal and kernel,
             ).run(pattern)
             key = f"{backend}/{'kernel' if kernel else 'object'}"
             runs[key] = {
@@ -214,6 +221,8 @@ def run_benchmark(
     rounds=2,
     end_to_end_backends=("serial", "process"),
     out_path=RESULTS_PATH,
+    kernel_choice="auto",
+    steal=False,
 ):
     graph = rmat(scale, avg_degree=avg_degree, seed=seed)
     # Square listings explode combinatorially at scale 15; the PG2
@@ -225,6 +234,8 @@ def run_benchmark(
         if pg2_scale == scale
         else rmat(pg2_scale, avg_degree=avg_degree, seed=seed)
     )
+    from repro.core import kernels
+
     record = {
         "benchmark": "batch_expand",
         "graph": {
@@ -241,6 +252,8 @@ def run_benchmark(
             "python": platform.python_version(),
             "numpy": np.__version__,
         },
+        "kernel": kernels.kernel_info(kernel_choice),
+        "steal": steal,
         "expand": {
             name: bench_expand(graph, name, max_messages, rounds, seed)
             for name in ("PG1", "PG2")
@@ -249,13 +262,15 @@ def run_benchmark(
             "PG1": {
                 "scale": scale,
                 **bench_end_to_end(
-                    graph, "PG1", procs, seed, end_to_end_backends
+                    graph, "PG1", procs, seed, end_to_end_backends,
+                    kernel_choice=kernel_choice, steal=steal,
                 ),
             },
             "PG2": {
                 "scale": pg2_scale,
                 **bench_end_to_end(
-                    pg2_graph, "PG2", procs, seed, end_to_end_backends
+                    pg2_graph, "PG2", procs, seed, end_to_end_backends,
+                    kernel_choice=kernel_choice, steal=steal,
                 ),
             },
         },
@@ -274,6 +289,18 @@ def main() -> int:
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--out", type=Path, default=None)
     parser.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "native"),
+        default="auto",
+        help="probe-kernel knob for the batch-expansion end-to-end legs",
+    )
+    parser.add_argument(
+        "--steal",
+        action="store_true",
+        help="run the kernel end-to-end legs under the work-stealing "
+        "scheduler (results are bit-identical by contract)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="small graph, serial end-to-end only, separate output file",
@@ -289,6 +316,8 @@ def main() -> int:
             rounds=args.rounds or 1,
             end_to_end_backends=("serial",),
             out_path=args.out or SMOKE_RESULTS_PATH,
+            kernel_choice=args.kernel,
+            steal=args.steal,
         )
         out = args.out or SMOKE_RESULTS_PATH
     else:
@@ -299,6 +328,8 @@ def main() -> int:
             seed=args.seed,
             rounds=args.rounds or 2,
             out_path=args.out or RESULTS_PATH,
+            kernel_choice=args.kernel,
+            steal=args.steal,
         )
         out = args.out or RESULTS_PATH
 

@@ -87,11 +87,14 @@ def run_all(
     backend: Optional[str] = None,
     procs: Optional[int] = None,
     wire: Optional[str] = None,
+    kernel: Optional[str] = None,
+    steal: Optional[bool] = None,
     trace_dir: Optional[Path] = None,
 ) -> List[ExperimentReport]:
     """Run every (or the selected) experiment, optionally persisting the
-    rendered text under ``out_dir``.  ``backend``/``procs``/``wire``
-    forward to experiments whose ``run`` supports them; with ``trace_dir`` set, each
+    rendered text under ``out_dir``.  ``backend``/``procs``/``wire``/
+    ``kernel``/``steal`` forward to experiments whose ``run`` supports
+    them; with ``trace_dir`` set, each
     experiment that accepts a ``trace`` kwarg records its runs into a
     tracer and a Chrome trace file lands at ``<trace_dir>/<id>_trace.json``.
     """
@@ -105,6 +108,10 @@ def run_all(
         runtime_kwargs["procs"] = procs
     if wire is not None:
         runtime_kwargs["wire"] = wire
+    if kernel is not None:
+        runtime_kwargs["kernel"] = kernel
+    if steal is not None:
+        runtime_kwargs["steal"] = steal
     reports = []
     for experiment in chosen:
         if progress:

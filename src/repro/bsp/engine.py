@@ -49,6 +49,12 @@ SHUFFLE_MODES = ("strict", "pipelined")
 #: caller sets neither ``chunk_gpsis`` nor ``chunk_bytes``.
 DEFAULT_CHUNK_GPSIS = 8192
 
+#: Default work-stealing task granularity (rows per steal task) when
+#: ``steal=True`` and the caller sets no ``steal_tasks``.  Small enough
+#: that a straggler's batch splits into many stealable slices, large
+#: enough that per-task overhead stays negligible against expansion.
+DEFAULT_STEAL_TASK_GPSIS = 2048
+
 
 @dataclass
 class BSPResult:
@@ -60,6 +66,9 @@ class BSPResult:
     aggregated: Optional[dict] = None
     #: The tracer that observed the run (None when tracing was off).
     trace: Optional[Any] = None
+    #: Number of tasks executed by a worker other than their owner
+    #: (work-stealing runs only; 0 under the static schedule).
+    steals: int = 0
 
     @property
     def makespan(self) -> float:
@@ -123,6 +132,27 @@ class BSPEngine:
         (so each chunk is at most ``max(watermark, one send)``).  Both
         unset defaults to ``chunk_gpsis=DEFAULT_CHUNK_GPSIS``.  Setting
         one under strict shuffle is refused (loud misconfiguration).
+    kernel:
+        Expansion-kernel selection recorded into the trace metadata:
+        ``"auto"``, ``"numpy"`` or ``"native"`` (see
+        :mod:`repro.core.kernels`).  The engine itself never expands —
+        the program carries the resolved kernel — but validating and
+        recording the knob here keeps misconfiguration loud and traces
+        self-describing.  ``None`` means the program's default.
+    steal:
+        Enable the work-stealing superstep scheduler: each worker's
+        delivered columnar batch splits into ``(owner, seq)``-tagged
+        tasks on a shared deque; idle workers steal packed slices from
+        stragglers and the barrier re-applies outcomes in canonical
+        (owner, seq) order, so ledgers/outputs stay bit-identical to the
+        static schedule (see :mod:`repro.runtime.stealing` and
+        ``docs/runtime.md``).  Requires ``wire='columnar'``,
+        ``shuffle='strict'`` and a program that declares
+        ``supports_task_expansion``.
+    steal_tasks:
+        Work-stealing task granularity in Gpsi rows (vertex slices never
+        split below a single vertex's delivery).  Defaults to
+        ``DEFAULT_STEAL_TASK_GPSIS``; only valid with ``steal=True``.
     superstep_budget:
         Per-job superstep budget: unlike ``max_supersteps`` (a safety
         valve that raises :class:`~repro.exceptions.EngineError`),
@@ -154,6 +184,9 @@ class BSPEngine:
         shuffle: str = "strict",
         chunk_gpsis: Optional[int] = None,
         chunk_bytes: Optional[int] = None,
+        kernel: Optional[str] = None,
+        steal: bool = False,
+        steal_tasks: Optional[int] = None,
         superstep_budget: Optional[int] = None,
         wall_budget_seconds: Optional[float] = None,
         abort_event: Optional[Any] = None,
@@ -191,6 +224,40 @@ class BSPEngine:
             raise EngineError(
                 "chunk watermarks only apply to shuffle='pipelined'"
             )
+        # Imported here: repro.core.listing imports this module at load
+        # time, so a module-level core import would be circular.
+        from ..core import kernels
+
+        if kernel is not None and kernel not in kernels.KERNEL_CHOICES:
+            raise EngineError(
+                f"unknown kernel {kernel!r}; available: "
+                f"{list(kernels.KERNEL_CHOICES)}"
+            )
+        if steal:
+            if wire != "columnar":
+                raise EngineError(
+                    "the work-stealing scheduler splits packed columnar "
+                    "batches and requires wire='columnar'"
+                )
+            if shuffle != "strict":
+                raise EngineError(
+                    "work stealing requires shuffle='strict'; stolen "
+                    "tasks buffer their sends for canonical re-merge, "
+                    "which the pipelined chunk stream cannot express"
+                )
+            if steal_tasks is None:
+                steal_tasks = DEFAULT_STEAL_TASK_GPSIS
+            if steal_tasks < 1:
+                raise EngineError(
+                    f"steal_tasks must be >= 1, got {steal_tasks}"
+                )
+        elif steal_tasks is not None:
+            raise EngineError(
+                "steal_tasks only applies to steal=True"
+            )
+        self.kernel = kernel
+        self.steal = steal
+        self.steal_tasks = steal_tasks
         self.wire = wire
         self.shuffle = shuffle
         self.chunk_gpsis = chunk_gpsis
@@ -219,7 +286,9 @@ class BSPEngine:
     # ------------------------------------------------------------------
     def run(self, program: VertexProgram) -> BSPResult:
         """Execute ``program`` to completion and return its results."""
-        # Imported here: repro.runtime builds on repro.bsp, not vice versa.
+        # Imported here: repro.runtime builds on repro.bsp, not vice versa
+        # (and repro.core.listing imports this module at load time).
+        from ..core import kernels
         from ..runtime.executor import JobSpec
         from ..runtime.registry import make_executor
 
@@ -236,6 +305,14 @@ class BSPEngine:
             raise EngineError(
                 "the columnar wire plane cannot honour a message combiner; "
                 "run combiner programs with wire='object'"
+            )
+        if self.steal and not getattr(
+            program, "supports_task_expansion", False
+        ):
+            raise EngineError(
+                "steal=True needs a program with the task-expansion "
+                "split (supports_task_expansion); "
+                f"{type(program).__name__} does not declare it"
             )
         inbox = MessageStore(combiner)
         registry = AggregatorRegistry(
@@ -255,6 +332,10 @@ class BSPEngine:
                 graph_vertices=self.graph.num_vertices,
                 graph_edges=self.graph.num_edges,
             )
+            if self.kernel is not None:
+                tracer.meta["kernel"] = kernels.kernel_info(self.kernel)
+            if self.steal:
+                tracer.meta["steal_tasks"] = self.steal_tasks
         executor.start(
             JobSpec(
                 program=program,
@@ -267,6 +348,8 @@ class BSPEngine:
                 shuffle=self.shuffle,
                 chunk_gpsis=self.chunk_gpsis,
                 chunk_bytes=self.chunk_bytes,
+                steal=self.steal,
+                steal_tasks=self.steal_tasks,
             )
         )
         merge_program_state = not executor.inprocess
@@ -510,6 +593,7 @@ class BSPEngine:
             wall_seconds=perf_counter() - started,
             aggregated=registry.finals(),
             trace=tracer if tracer.enabled else None,
+            steals=int(getattr(executor, "steals_total", 0)),
         )
 
     # ------------------------------------------------------------------

@@ -117,6 +117,16 @@ class VertexProgram:
     #: (columnar wire plane only; see ``docs/perf.md``).
     supports_columnar_compute: bool = False
 
+    #: Whether the program additionally splits :meth:`compute_columns`
+    #: into a pure expansion half and a stateful apply half — the
+    #: contract the work-stealing scheduler requires
+    #: (``expand_task(vertex, columns, edge_index)``,
+    #: ``apply_outcome(ctx, outcome)``, ``task_probe_view()``,
+    #: ``absorb_task_stats(queries, positives)``; see
+    #: :mod:`repro.runtime.stealing`).  Programs without the split can
+    #: never run under ``steal=True``.
+    supports_task_expansion: bool = False
+
     def compute(self, ctx: ComputeContext, messages: List[Any]) -> None:
         """Process one active vertex.  ``ctx.vertex`` is the vertex id;
         ``messages`` are the payloads delivered this superstep (empty at

@@ -118,6 +118,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pin the scalar per-Gpsi expansion path even under "
         "--wire columnar (reference/debugging; results are identical)",
     )
+    count.add_argument(
+        "--kernel",
+        choices=["auto", "numpy", "native"],
+        default="auto",
+        help="expansion/probe kernel: numpy (vectorised reference), "
+        "native (numba-jitted fused loops), or auto (native when a "
+        "numba runtime is installed, else numpy; identical results)",
+    )
+    count.add_argument(
+        "--steal",
+        action="store_true",
+        help="work-stealing superstep scheduler (columnar wire only): "
+        "idle workers steal packed batch slices from stragglers; "
+        "results stay bit-identical to the static schedule",
+    )
+    count.add_argument(
+        "--steal-tasks",
+        type=int,
+        default=None,
+        help="work-stealing task granularity in Gpsi rows "
+        "(default: engine default; requires --steal)",
+    )
     count.add_argument("--strategy", default="WA,0.5")
     count.add_argument("--scale", type=float, default=1.0)
     count.add_argument("--seed", type=int, default=0)
@@ -169,6 +191,17 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["object", "columnar"],
         default=None,
         help="barrier wire plane for experiments that support one",
+    )
+    bench.add_argument(
+        "--kernel",
+        choices=["auto", "numpy", "native"],
+        default=None,
+        help="expansion/probe kernel for experiments that support one",
+    )
+    bench.add_argument(
+        "--steal",
+        action="store_true",
+        help="work-stealing scheduler for experiments that support it",
     )
     bench.add_argument("--out", type=Path, default=None, help="directory for .txt reports")
     bench.add_argument(
@@ -267,6 +300,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
         chunk_gpsis=args.chunk_gpsis,
         chunk_bytes=args.chunk_bytes,
         batch_expand=not args.no_batch_expand,
+        kernel=args.kernel,
+        steal=args.steal,
+        steal_tasks=args.steal_tasks,
         trace=tracer,
     )
     initial = None if args.initial_vertex is None else args.initial_vertex - 1
@@ -282,6 +318,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
     print(f"backend    : {args.backend}")
     print(f"wire plane : {args.wire}")
     print(f"shuffle    : {args.shuffle}")
+    print(f"kernel     : {result.kernel} (requested {args.kernel})")
+    if args.steal:
+        print(f"steals     : {result.steals}")
     print(f"wall time  : {result.wall_seconds:.3f}s")
     if tracer is not None and args.trace:
         path = Path(args.trace)
@@ -352,6 +391,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         backend=args.backend,
         procs=args.procs,
         wire=args.wire,
+        kernel=args.kernel,
+        steal=args.steal or None,
         trace_dir=args.trace,
     )
     return 0

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..graph.ordered import OrderedGraph
 from ..pattern.pattern import PatternGraph
+from . import kernels
 from .cost import CostParameters, DEFAULT_COSTS
 from .edge_index import EdgeIndexBase
 from .psi import GpsiColumns, PACKED_UNSET_NEXT, UNMAPPED, _black_words
@@ -144,6 +145,7 @@ def expand_columns(
     ordered: OrderedGraph,
     edge_index: EdgeIndexBase,
     costs: CostParameters = DEFAULT_COSTS,
+    kernel: str = "numpy",
 ) -> BatchOutcome:
     """Run Algorithm 1 on every row of ``columns`` at ``data_vertex``.
 
@@ -158,9 +160,20 @@ def expand_columns(
     are coalesced with :func:`coalesce_columns` first, which preserves
     row order, so the outcome is identical to expanding the contiguous
     slice.
+
+    ``kernel`` selects the per-group inner-loop implementation (see
+    :mod:`repro.core.kernels`): ``"numpy"`` is the reference, ``"native"``
+    runs the fused jitted GRAY-membership + WHITE-candidate kernels when
+    a native runtime is available (falling back to numpy otherwise), and
+    ``"auto"`` picks native exactly when numba is installed.  Outcomes
+    are bit-identical across kernels.
     """
     if not isinstance(columns, GpsiColumns):
         columns = coalesce_columns(columns)
+    use_native = kernels.resolve_kernel(kernel) == "native"
+    # Indexes the kernel cannot probe natively keep the numpy candidate
+    # path (probe parity requires the kernel to answer probes itself).
+    probe_pack = kernels.probe_pack_for(edge_index) if use_native else None
     outcome = BatchOutcome()
     n, k = columns.n, columns.k
     if n == 0:
@@ -246,15 +259,26 @@ def expand_columns(
                 # GRAY: exact adjacency verification against N(vd).
                 outcome.cost += costs.gray_check * n_alive
                 live = np.flatnonzero(alive)
-                ok = _sorted_membership(neigh_vd, sub_map[live, np_])
+                if use_native:
+                    ok = kernels.membership_sorted(neigh_vd, sub_map[live, np_])
+                else:
+                    ok = _sorted_membership(neigh_vd, sub_map[live, np_])
                 alive[live[~ok]] = False
             else:
                 # WHITE: candidate matrix over rows x N(vd).
                 outcome.cost += costs.scan * deg_vd * n_alive
-                cand_mask = _candidate_matrix(
-                    sub_map, alive, np_, vp, black, group_mask, neigh_vd,
-                    pattern, ranks, degrees, graph.num_vertices, edge_index,
-                )
+                if probe_pack is not None:
+                    cand_mask = _candidate_matrix_native(
+                        sub_map, alive, np_, vp, black, group_mask,
+                        neigh_vd, pattern, ranks, degrees,
+                        graph.num_vertices, edge_index, probe_pack,
+                    )
+                else:
+                    cand_mask = _candidate_matrix(
+                        sub_map, alive, np_, vp, black, group_mask,
+                        neigh_vd, pattern, ranks, degrees,
+                        graph.num_vertices, edge_index,
+                    )
                 alive &= cand_mask.any(axis=1)
                 white_masks.append((np_, cand_mask))
 
@@ -408,6 +432,82 @@ def _candidate_matrix(
         )
         live_mask[r_idx[~res], c_idx[~res]] = False
 
+    mask[live] = live_mask
+    return mask
+
+
+def _candidate_matrix_native(
+    sub_map: np.ndarray,
+    alive: np.ndarray,
+    white_vp: int,
+    expanding_vp: int,
+    black: int,
+    group_mask: int,
+    neigh_vd: np.ndarray,
+    pattern: PatternGraph,
+    ranks: np.ndarray,
+    degrees: np.ndarray,
+    num_vertices: int,
+    edge_index: EdgeIndexBase,
+    probe_pack: "kernels.ProbePack",
+) -> np.ndarray:
+    """Native twin of :func:`_candidate_matrix`.
+
+    The group-constant classification (rank-bound sources, injectivity
+    columns, GRAY prefilter images, degree rule) is computed here with
+    the same numpy gathers; the per-(row, candidate) decision loop —
+    including the edge probes, which the kernel answers straight from
+    the index's packed data — runs fused in
+    :func:`repro.core.kernels.white_candidates`.  The probe counts the
+    kernel reports are credited to ``edge_index`` so the statistics stay
+    probe-for-probe identical to the numpy path.
+    """
+    m, deg_vd = sub_map.shape[0], len(neigh_vd)
+    mask = np.zeros((m, deg_vd), dtype=bool)
+    live = np.flatnonzero(alive)
+
+    lower = np.full(len(live), -1, dtype=np.int64)
+    upper = np.full(len(live), num_vertices, dtype=np.int64)
+    for below in pattern.must_rank_below(white_vp):
+        if group_mask >> below & 1:
+            np.maximum(lower, ranks[sub_map[live, below]], out=lower)
+    for above in pattern.must_rank_above(white_vp):
+        if group_mask >> above & 1:
+            np.minimum(upper, ranks[sub_map[live, above]], out=upper)
+    if not bool((lower < upper).any()):
+        return mask
+
+    k = sub_map.shape[1]
+    mapped_cols = np.array(
+        [col for col in range(k) if group_mask >> col & 1], dtype=np.int64
+    )
+    gray_cols = np.array(
+        [
+            np_
+            for np_ in pattern.neighbors(white_vp)
+            if np_ != expanding_vp
+            and (group_mask >> np_ & 1)
+            and not (black >> np_ & 1)
+        ],
+        dtype=np.int64,
+    )
+    deg_ok = np.ascontiguousarray(
+        degrees[neigh_vd] >= pattern.degree(white_vp), dtype=np.bool_
+    )
+    neigh_ranks = np.ascontiguousarray(ranks[neigh_vd], dtype=np.int64)
+    live_mask, queries, positives = kernels.white_candidates(
+        sub_map[live],
+        mapped_cols,
+        gray_cols,
+        lower,
+        upper,
+        neigh_vd,
+        neigh_ranks,
+        deg_ok,
+        probe_pack,
+    )
+    edge_index.queries += queries
+    edge_index.positives += positives
     mask[live] = live_mask
     return mask
 

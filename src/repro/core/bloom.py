@@ -103,13 +103,26 @@ class BloomFilter:
         Evaluates ``(h1 + i * h2) mod m`` as
         ``((h1 mod m) + i * (h2 mod m)) mod m`` so the intermediate terms
         fit uint64 without wrapping and match :meth:`_probes` exactly.
+
+        Positions are hashed once per *unique* key and gathered back
+        through the ``np.unique`` inverse: the expansion hot path probes
+        pairwise edge keys whose endpoints repeat heavily (one GRAY image
+        against a whole candidate row), so most batches re-hash the same
+        key many times otherwise.  The gather preserves order and
+        duplicates, so the returned matrix — and therefore every add /
+        membership answer and probe-count statistic — is identical to
+        hashing each key individually.
         """
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
-        h1 = _splitmix64_array(keys ^ _U64(self._seed & _MASK64))
+        unique, inverse = np.unique(keys, return_inverse=True)
+        if len(unique) == len(keys):
+            unique, inverse = keys, None
+        h1 = _splitmix64_array(unique ^ _U64(self._seed & _MASK64))
         h2 = _splitmix64_array(h1) | _U64(1)
         m = _U64(self.num_bits)
         strides = np.arange(self.num_hashes, dtype=np.uint64)
-        return (h1[:, None] % m + strides[None, :] * (h2[:, None] % m)) % m
+        positions = (h1[:, None] % m + strides[None, :] * (h2[:, None] % m)) % m
+        return positions if inverse is None else positions[inverse]
 
     # ------------------------------------------------------------------
     def add(self, key: int) -> None:

@@ -41,7 +41,8 @@ from ..graph.ordered import OrderedGraph
 from ..graph.partition import Partition, random_partition
 from ..pattern.automorphism import automorphisms, break_automorphisms
 from ..pattern.pattern import PatternGraph
-from .batch_expand import expand_columns
+from . import kernels
+from .batch_expand import BatchOutcome, expand_columns
 from .codec import encoded_size, encoded_size_batch
 from .cost import CostParameters, DEFAULT_COSTS
 from .distribution import DistributionStrategy, make_strategy
@@ -75,6 +76,11 @@ class ListingResult:
     #: The tracer that observed the run (None when tracing was off);
     #: feed it to ``repro.obs`` exporters.
     trace: Optional[object] = None
+    #: Effective expansion kernel the run used (``"numpy"``/``"native"``).
+    kernel: Optional[str] = None
+    #: Tasks executed by a non-home worker under the work-stealing
+    #: scheduler (0 when ``steal=False`` or nothing was stolen).
+    steals: int = 0
 
     @property
     def makespan(self) -> float:
@@ -127,6 +133,7 @@ class PSgLProgram(VertexProgram):
         count_per_vertex: bool = False,
         track_message_bytes: bool = False,
         batch_expand: bool = True,
+        kernel: str = "numpy",
     ):
         self.pattern = pattern
         self.ordered = ordered
@@ -140,6 +147,9 @@ class PSgLProgram(VertexProgram):
         self.count_per_vertex = count_per_vertex
         self.track_message_bytes = track_message_bytes
         self.batch_expand = batch_expand
+        #: Effective expansion kernel ("numpy"/"native") — resolved by the
+        #: driver before construction so every replica agrees.
+        self.kernel = kernels.resolve_kernel(kernel)
         self.instances: List[Tuple[int, ...]] = []
         self.gpsi_by_vertex: Dict[int, int] = {}
         self.per_vertex_counts: Dict[int, int] = {}
@@ -315,19 +325,71 @@ class PSgLProgram(VertexProgram):
         :class:`~repro.core.psi.GpsiColumns` slice and emitting children
         through ``ctx.send_columns`` — no per-Gpsi objects anywhere (see
         :mod:`repro.core.batch_expand`).  Superstep 0 always runs through
-        :meth:`compute`, so this only ever sees expansion supersteps."""
+        :meth:`compute`, so this only ever sees expansion supersteps.
+
+        Internally split into the *pure* half (:meth:`expand_task`) and
+        the *stateful* half (:meth:`apply_outcome`); the work-stealing
+        scheduler runs the two on different workers (see
+        :mod:`repro.runtime.stealing`), so any change here must keep the
+        composition identical to the split."""
+        self.apply_outcome(ctx, self.expand_task(ctx.vertex, columns))
+
+    # ------------------------------------------------------------------
+    # Task-expansion contract (work-stealing scheduler)
+    # ------------------------------------------------------------------
+    @property
+    def supports_task_expansion(self) -> bool:
+        # Stealable tasks are packed column slices expanded by the pure
+        # kernel; the scalar (batch_expand=False) path has no such split.
+        return self.batch_expand
+
+    def task_probe_view(self) -> EdgeIndexBase:
+        """A private-counter view of the edge index for one task, so
+        concurrent thieves never race on ``queries``/``positives`` (the
+        deltas come home through :meth:`absorb_task_stats`)."""
+        return self.edge_index.detached_view()
+
+    def expand_task(
+        self,
+        vertex: int,
+        columns: GpsiColumns,
+        edge_index: Optional[EdgeIndexBase] = None,
+    ) -> BatchOutcome:
+        """The pure half of :meth:`compute_columns`: expansion only.
+
+        Touches no program state beyond read-only shared data (pattern,
+        order arrays, index bits) — safe to run on any worker, in any
+        order.  ``edge_index`` defaults to the program's own (the static
+        path); the stealing scheduler passes a :meth:`task_probe_view`.
+        """
+        return expand_columns(
+            columns,
+            vertex,
+            self.pattern,
+            self.ordered,
+            self.edge_index if edge_index is None else edge_index,
+            self.costs,
+            kernel=self.kernel,
+        )
+
+    def absorb_task_stats(self, queries: int, positives: int) -> None:
+        """Fold one task's probe-counter delta into the program's index."""
+        self.edge_index.queries += queries
+        self.edge_index.positives += positives
+
+    def apply_outcome(
+        self, ctx: ComputeContext, outcome: BatchOutcome
+    ) -> None:
+        """The stateful half of :meth:`compute_columns`: tallies,
+        aggregation, instance collection and routing.  Consumes the
+        owner's RNG / load-view state through ``ctx.worker_state``, so it
+        must run per owner in delivery order — which is exactly how both
+        the static path and the stealing scheduler's canonical finalize
+        invoke it."""
         if "dist_rng" not in ctx.worker_state:
             ctx.worker_state["dist_rng"] = np.random.default_rng(
                 (self.seed + 1) * 1_000_003 + ctx.worker_id
             )
-        outcome = expand_columns(
-            columns,
-            ctx.vertex,
-            self.pattern,
-            self.ordered,
-            self.edge_index,
-            self.costs,
-        )
         ctx.add_cost(outcome.cost)
         for vp, n in outcome.generated_by_vp.items():
             self.gpsi_by_vertex[vp] = self.gpsi_by_vertex.get(vp, 0) + n
@@ -424,6 +486,24 @@ class PSgL:
         ``False`` pins the scalar reference path (needed for custom
         strategies that only implement scalar ``choose``).  Ignored on
         the object wire plane.  Results are bit-identical either way.
+    kernel:
+        Expansion-kernel selection (``"auto"`` default): ``"numpy"`` is
+        the vectorised reference, ``"native"`` the numba-jitted fused
+        kernels of :mod:`repro.core.kernels` (graceful numpy fallback
+        when numba is absent), ``"auto"`` picks native exactly when
+        numba is installed.  Results are bit-identical across kernels
+        (see ``docs/perf.md``).
+    steal:
+        Run expansion supersteps under the work-stealing scheduler
+        (:mod:`repro.runtime.stealing`): each worker's delivered batch
+        splits into ``(owner, seq)``-tagged tasks that idle workers
+        steal, with a canonical-order finalize that keeps instances,
+        ledgers and RNG streams bit-identical to the static schedule.
+        Requires ``wire="columnar"`` with ``batch_expand`` on and the
+        strict shuffle (see ``docs/runtime.md``).
+    steal_tasks:
+        Target rows per stealable task (default: the engine's chunk
+        default); tasks never split a single vertex's slice.
     trace:
         Observability: ``None``/``False`` (default, zero overhead), a
         :class:`repro.obs.Tracer` to record per-superstep events into
@@ -466,6 +546,9 @@ class PSgL:
         chunk_gpsis: Optional[int] = None,
         chunk_bytes: Optional[int] = None,
         batch_expand: Optional[bool] = None,
+        kernel: str = "auto",
+        steal: bool = False,
+        steal_tasks: Optional[int] = None,
         trace: object = None,
         ordered: Optional[OrderedGraph] = None,
         superstep_budget: Optional[int] = None,
@@ -506,6 +589,9 @@ class PSgL:
         self.chunk_gpsis = chunk_gpsis
         self.chunk_bytes = chunk_bytes
         self.batch_expand = True if batch_expand is None else batch_expand
+        self.kernel = kernel
+        self.steal = steal
+        self.steal_tasks = steal_tasks
         self.trace = trace
         self.superstep_budget = superstep_budget
         self.wall_budget_seconds = wall_budget_seconds
@@ -576,6 +662,10 @@ class PSgL:
                     )
         index = self._edge_index
         index.reset_statistics()
+        kernel_effective = kernels.resolve_kernel(self.kernel)
+        # Route the index's own batched probes (scalar path, consistency
+        # checks) through the same kernel; answers are bit-identical.
+        index.set_kernel(kernel_effective)
         program = PSgLProgram(
             pattern=pattern,
             ordered=self.ordered,
@@ -589,6 +679,7 @@ class PSgL:
             count_per_vertex=count_per_vertex,
             track_message_bytes=track_message_bytes,
             batch_expand=self.batch_expand,
+            kernel=kernel_effective,
         )
         engine = BSPEngine(
             self.graph,
@@ -601,6 +692,9 @@ class PSgL:
             shuffle=self.shuffle,
             chunk_gpsis=self.chunk_gpsis,
             chunk_bytes=self.chunk_bytes,
+            kernel=self.kernel,
+            steal=self.steal,
+            steal_tasks=self.steal_tasks,
             trace=self.trace,
             superstep_budget=self.superstep_budget,
             wall_budget_seconds=self.wall_budget_seconds,
@@ -628,6 +722,8 @@ class PSgL:
                 program.message_bytes if track_message_bytes else None
             ),
             trace=bsp_result.trace,
+            kernel=kernel_effective,
+            steals=bsp_result.steals,
         )
 
     def count(self, pattern: PatternGraph, **kwargs) -> int:

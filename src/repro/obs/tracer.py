@@ -57,6 +57,14 @@ the runtime backends emit these kinds (schema ``repro.obs/v1``):
     merged at the barrier with the step result).  ``chunk_deliver``
     events interleaving with still-running compute is the overlap the
     mode exists for.
+``steal``
+    Work-stealing scheduler (``steal=True``), one per task executed
+    away from its owner's home lane: ``worker`` is the task's *owner*,
+    ``seq`` its position in the owner's batch, ``lane`` the thread
+    index (thread backend) or child pid (process backend) that ran it,
+    ``rows`` the packed Gpsi rows it carried, and ``wall_ms`` the
+    task's expansion time on the thief.  Zero events means the static
+    schedule was never behind (see :mod:`repro.runtime.stealing`).
 
 Workers whose batch was empty in a superstep emit no ``worker`` event;
 their cost/message/compute contribution is zero by construction.

@@ -86,6 +86,14 @@ class JobSpec:
     #: flushes before an append would overflow either one.
     chunk_gpsis: Optional[int] = None
     chunk_bytes: Optional[int] = None
+    #: Work-stealing superstep scheduler: split each worker's delivered
+    #: columnar batch into ``(owner, seq)``-tagged tasks of at most
+    #: ``steal_tasks`` rows and let idle workers execute stragglers'
+    #: tasks; the barrier re-applies outcomes in canonical order (see
+    #: :mod:`repro.runtime.stealing`).  Columnar + strict shuffle only;
+    #: backends accumulate task migrations on ``steals_total``.
+    steal: bool = False
+    steal_tasks: Optional[int] = None
 
 
 @dataclass
@@ -358,6 +366,11 @@ class SuperstepExecutor:
 
     #: Registry name (filled by the backend registry on instantiation).
     name: str = "abstract"
+
+    #: Tasks executed by a worker other than their owner, accumulated
+    #: across the job (work-stealing runs only; stays 0 otherwise).  The
+    #: engine reads this once at job end into ``BSPResult.steals``.
+    steals_total: int = 0
 
     def start(self, spec: JobSpec) -> None:
         """Prepare for a job (export shared state, warm pools, ...)."""

@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor, wait
 from time import perf_counter, sleep
 from typing import Any, Dict, List, Optional
 
+from ..bsp.message import PackedWorkerBatch
 from .executor import (
     JobSpec,
     SuperstepExecutor,
@@ -130,6 +131,25 @@ def _run_child_batch(
     return result
 
 
+def _run_child_task(task: Any) -> Any:
+    """Run one steal task's pure expansion half in this pool process.
+
+    The returned :class:`~repro.runtime.stealing.TaskResult` ships only
+    outcomes and probe-counter deltas (the driver keeps the task table);
+    ``lane`` records the executing pid so the driver can tell which
+    tasks migrated off their owner's process.
+    """
+    from .stealing import expand_steal_task
+
+    started = perf_counter()
+    result = expand_steal_task(_child_program, task)
+    result.lane = os.getpid()
+    result.wall_ms = (perf_counter() - started) * 1000.0
+    # Drop the driver-side-only payload before pickling the result home.
+    result.vertices = None
+    return result
+
+
 def default_procs(num_workers: int) -> int:
     """Pool width: one process per logical worker, capped by the machine."""
     return max(1, min(num_workers, os.cpu_count() or 1))
@@ -221,6 +241,11 @@ class ProcessExecutor(SuperstepExecutor):
         registry: Any,
         chunk_sink: Any = None,
     ) -> List[WorkerStepResult]:
+        spec = self._spec
+        if spec.steal and any(
+            isinstance(batch, PackedWorkerBatch) for batch in batches
+        ):
+            return self._run_stolen(superstep, batches, registry)
         snapshot_bytes = pickle.dumps(registry.snapshot())
 
         # Pipelined shuffle: children put flushed chunks on the shared
@@ -310,6 +335,84 @@ class ProcessExecutor(SuperstepExecutor):
         for result in results:
             self._states[result.worker_id] = result.worker_state
             result.worker_state = None  # driver-side bookkeeping only
+        return results
+
+    def _run_stolen(
+        self, superstep: int, batches: List[WorkerBatch], registry: Any
+    ) -> List[WorkerStepResult]:
+        """The dynamic schedule on the process pool: one future per
+        steal task, driver-side canonical finalize.
+
+        The pool's shared submission queue *is* the steal deque here —
+        any idle child picks up the next task regardless of owner, so a
+        straggling owner's later slices migrate to whichever processes
+        free up first.  A task counts as stolen when it ran on a
+        different pid than the owner's first slice (the owner's "home"
+        process for the superstep).  Expansion ships only packed column
+        slices out and outcome arrays back; all owner state stays
+        driver-side, consumed by the canonical finalize in worker-id /
+        seq order, which keeps results bit-identical to the static
+        schedule.
+        """
+        from .stealing import finalize_owner, split_batch
+
+        spec = self._spec
+        snapshot = registry.snapshot()
+        tasks_by_owner: Dict[int, List[Any]] = {}
+        futures = []
+        for owner, batch in enumerate(batches):
+            if isinstance(batch, PackedWorkerBatch) and len(batch.vertices):
+                tasks = split_batch(owner, batch, spec.steal_tasks or 1)
+                tasks_by_owner[owner] = tasks
+                futures.extend(
+                    self._pool.submit(_run_child_task, task) for task in tasks
+                )
+        try:
+            task_results = [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            wait(futures)
+            raise
+        by_owner: Dict[int, List[Any]] = {o: [] for o in tasks_by_owner}
+        for result in task_results:
+            by_owner[result.owner].append(result)
+        results: List[WorkerStepResult] = []
+        for owner in sorted(by_owner):
+            owner_results = sorted(by_owner[owner], key=lambda r: r.seq)
+            for task, result in zip(tasks_by_owner[owner], owner_results):
+                result.vertices = task.vertices
+                result.rows = task.rows
+            home = owner_results[0].lane
+            for result in owner_results:
+                if result.lane != home:
+                    result.stolen = True
+                    self.steals_total += 1
+                    if spec.tracer.enabled:
+                        spec.tracer.emit(
+                            "steal",
+                            superstep=superstep,
+                            worker=owner,
+                            wall_ms=result.wall_ms,
+                            seq=result.seq,
+                            lane=result.lane,
+                            rows=result.rows,
+                        )
+            shim = WorkerAggregators(
+                fresh_aggregators(spec.program), snapshot
+            )
+            results.append(
+                finalize_owner(
+                    spec.program,
+                    spec,
+                    owner,
+                    superstep,
+                    owner_results,
+                    self._states[owner],
+                    shim,
+                    collect_delta=True,
+                )
+            )
         return results
 
     def _purge_chunk_queue(self) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, List
 
+from ..bsp.message import PackedWorkerBatch
 from .executor import (
     JobSpec,
     SuperstepExecutor,
@@ -50,6 +51,37 @@ class SerialExecutor(SuperstepExecutor):
         # outboxes as residuals and the chunked barrier store receives
         # them at the merge — strict-mode behaviour, bit for bit.
         spec = self._spec
+        if spec.steal and any(
+            isinstance(batch, PackedWorkerBatch) for batch in batches
+        ):
+            # One lane, so every owner is "home" and nothing is ever
+            # stolen — the degenerate dynamic schedule.  Running it
+            # anyway keeps the split/expand/finalize path exercised
+            # (and bit-compared) on the reference backend.
+            from .stealing import (
+                expand_steal_task,
+                finalize_owner,
+                run_stolen_superstep,
+            )
+
+            results, steals, _ = run_stolen_superstep(
+                spec,
+                superstep,
+                batches,
+                expand=lambda task: expand_steal_task(spec.program, task),
+                finalize=lambda owner, task_results: finalize_owner(
+                    spec.program,
+                    spec,
+                    owner,
+                    superstep,
+                    task_results,
+                    spec.worker_states[owner],
+                    registry,
+                    collect_delta=False,
+                ),
+            )
+            self.steals_total += steals
+            return results
         results = []
         for worker_id, batch in enumerate(batches):
             if not batch:

@@ -23,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 from time import perf_counter
 from typing import Any, List, Optional
 
+from ..bsp.message import PackedWorkerBatch
 from .executor import (
     JobSpec,
     SuperstepExecutor,
@@ -85,6 +86,10 @@ class ThreadExecutor(SuperstepExecutor):
     ) -> List[WorkerStepResult]:
         spec = self._spec
         snapshot = registry.snapshot()
+        if spec.steal and any(
+            isinstance(batch, PackedWorkerBatch) for batch in batches
+        ):
+            return self._run_stolen(superstep, batches, spec, snapshot)
 
         # Pipelined shuffle: workers push flushed chunks onto a bounded
         # queue (backpressure caps in-flight memory at O(depth × chunk))
@@ -155,6 +160,72 @@ class ThreadExecutor(SuperstepExecutor):
                 drain_thread.join()
         if sink_errors:
             raise sink_errors[0]
+        return results
+
+    def _run_stolen(
+        self,
+        superstep: int,
+        batches: List[WorkerBatch],
+        spec: JobSpec,
+        snapshot: dict,
+    ) -> List[WorkerStepResult]:
+        """The dynamic schedule: split batches into steal tasks, drain
+        them on physical threads (own deque first, steal from the
+        most-loaded victim when idle), then finalize every owner in
+        canonical order on this (driver) thread.
+
+        Expansion runs on the task owner's *replica* — the pure half
+        touches only the replica's read-only shared data plus a detached
+        index view, so concurrent thieves on one replica never race.
+        Finalize replays outcomes against the **driver's** program: its
+        per-owner ``collect_state_delta`` stream merges at the engine
+        barrier exactly like replica deltas would, and the probe/tally
+        state lands on the same object either way.
+        """
+        from .stealing import (
+            expand_steal_task,
+            finalize_owner,
+            run_stolen_superstep,
+        )
+
+        lanes = max(self._procs or min(spec.num_workers, 4), 1)
+
+        def expand(task):
+            return expand_steal_task(self._replicas[task.owner], task)
+
+        def finalize(owner: int, task_results) -> WorkerStepResult:
+            shim = WorkerAggregators(
+                fresh_aggregators(spec.program), snapshot
+            )
+            return finalize_owner(
+                spec.program,
+                spec,
+                owner,
+                superstep,
+                task_results,
+                self._states[owner],
+                shim,
+                collect_delta=True,
+            )
+
+        def runner(loops) -> None:
+            futures = [self._pool.submit(loop) for loop in loops]
+            for future in futures:
+                future.result()
+
+        results, steals, events = run_stolen_superstep(
+            spec,
+            superstep,
+            batches,
+            expand=expand,
+            finalize=finalize,
+            lanes=lanes,
+            runner=runner,
+        )
+        self.steals_total += steals
+        if spec.tracer.enabled:
+            for event in events:
+                spec.tracer.emit("steal", **event)
         return results
 
     def close(self) -> None:

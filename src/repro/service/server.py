@@ -46,6 +46,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..core import kernels
 from ..core.distribution import make_strategy
 from ..core.edge_index import build_edge_index
 from ..core.listing import ListingResult, PSgL
@@ -138,9 +139,13 @@ SPEC_DEFAULTS: Dict[str, Any] = {
     "wire": "object",
     "seed": 0,
     "collect_instances": False,
+    "kernel": "auto",
+    "steal": False,
 }
 
 #: Spec fields that shape the result payload — the cache-key params.
+#: ``kernel``/``steal`` are deliberately absent: both are bit-identical
+#: execution choices, so a cached result answers any kernel/steal combo.
 CACHE_PARAM_FIELDS = ("workers", "seed", "collect_instances")
 
 
@@ -229,6 +234,23 @@ class SubgraphService:
             "psgl_http_dropped_responses",
             "Responses the client disconnected before receiving.",
         )
+        self._m_steals = self.registry.counter(
+            "psgl_steals_total",
+            "Steal-scheduler task migrations across all executed jobs.",
+        )
+        # Info-style gauge: one permanently-1 sample whose labels say what
+        # kernel="auto" resolves to on this host (numba present or not).
+        info = kernels.kernel_info("auto")
+        self._m_kernel_info = self.registry.gauge(
+            "psgl_kernel_info",
+            "Expansion-kernel capability of this service process.",
+            labelnames=("effective", "runtime", "numba"),
+        )
+        self._m_kernel_info.labels(
+            effective=info["effective"],
+            runtime=info["runtime"],
+            numba=str(info["numba"]).lower(),
+        ).set(1)
 
         self.manager = JobManager(
             runner=self._run_job,
@@ -315,6 +337,16 @@ class SubgraphService:
             raise QuerySpecError(
                 f"unknown wire plane {spec['wire']!r} (object|columnar)"
             )
+        if spec["kernel"] not in kernels.KERNEL_CHOICES:
+            raise QuerySpecError(
+                f"unknown kernel {spec['kernel']!r}; "
+                f"choices: {list(kernels.KERNEL_CHOICES)}"
+            )
+        spec["steal"] = bool(spec["steal"])
+        if spec["steal"] and spec["wire"] != "columnar":
+            raise QuerySpecError(
+                "steal=true needs the columnar wire plane (wire='columnar')"
+            )
         if spec.get("_hold_seconds") and not self._allow_test_hooks:
             raise QuerySpecError("_hold_seconds requires allow_test_hooks")
         try:
@@ -351,6 +383,8 @@ class SubgraphService:
             seed=spec["seed"],
             backend=spec["backend"],
             wire=spec["wire"],
+            kernel=spec["kernel"],
+            steal=spec["steal"],
             trace=job.tracer,
             ordered=self.context.ordered,
             abort_event=job.abort_event,
@@ -359,6 +393,8 @@ class SubgraphService:
         result = driver.run(
             pattern, collect_instances=spec["collect_instances"]
         )
+        if result.steals:
+            self._m_steals.inc(result.steals)
         payload = self._payload(result, spec)
         key = cache_key(
             self.context.fingerprint,
@@ -389,6 +425,8 @@ class SubgraphService:
             "index_queries": int(result.index_queries),
             "index_pruned": int(result.index_pruned),
             "wall_seconds": float(result.wall_seconds),
+            "kernel": result.kernel,
+            "steals": int(result.steals),
         }
         if spec["collect_instances"] and result.instances is not None:
             payload["instances"] = [list(m) for m in result.instances]

@@ -210,3 +210,51 @@ class TestBloomMemoryReporting:
     def test_index_reports_filter_footprint(self):
         index = BloomEdgeIndex(GRAPH)
         assert index.memory_bytes() == index._bloom._bits.nbytes
+
+
+class TestProbeDedupParity:
+    """The batched prober hashes once per *unique* key (repeated keys are
+    gathered back through the ``np.unique`` inverse).  These tests pin
+    that the dedup is invisible: answers, bit patterns and probe-count
+    statistics all match hashing every key individually."""
+
+    def test_repeated_keys_match_scalar_probes(self):
+        bloom = BloomFilter(200, fp_rate=0.05, seed=6)
+        bloom.add_many(np.arange(120, dtype=np.uint64) * np.uint64(97))
+        rng = np.random.default_rng(8)
+        # ~12x average repetition: the expansion hot path's shape, where
+        # one GRAY image pairs against a whole candidate row.
+        base = rng.integers(0, 2**40, size=50, dtype=np.uint64)
+        keys = rng.choice(base, size=600)
+        batched = bloom.might_contain_many(keys)
+        assert batched.tolist() == [int(k) in bloom for k in keys]
+
+    def test_probe_positions_preserve_order_and_duplicates(self):
+        bloom = BloomFilter(64, fp_rate=0.1, seed=2)
+        keys = np.array([9, 3, 9, 9, 3, 7], dtype=np.uint64)
+        positions = bloom._probe_positions(keys)
+        assert positions.shape == (6, bloom.num_hashes)
+        expected = np.array([list(bloom._probes(int(k))) for k in keys])
+        assert np.array_equal(positions, expected)
+
+    def test_add_many_with_duplicates_matches_scalar_adds(self):
+        keys = np.array([5, 5, 11, 5, 11, 23], dtype=np.uint64)
+        a = BloomFilter(50, fp_rate=0.05, seed=1)
+        b = BloomFilter(50, fp_rate=0.05, seed=1)
+        a.add_many(keys)
+        for k in keys:
+            b.add(int(k))
+        assert np.array_equal(a._bits, b._bits)
+        assert a.count == b.count == len(keys)
+
+    def test_index_counters_count_every_key_not_uniques(self):
+        # The cost ledger derives from queries/positives, so dedup must
+        # never shrink them: 400 probes of one repeated present key is
+        # 400 queries and 400 positives.
+        index = BloomEdgeIndex(GRAPH)
+        u, v = next(iter(GRAPH.edges()))
+        candidates = np.full(400, int(u), dtype=np.int64)
+        answers = index.might_contain_many(candidates, int(v))
+        assert answers.all()
+        assert index.queries == 400
+        assert index.positives == 400

@@ -1,0 +1,253 @@
+"""Tests for the work-stealing superstep scheduler (repro.runtime.stealing).
+
+The scheduler's contract is *determinism under dynamic placement*: tasks
+may run on any lane in any order, but the finalized results — instances,
+ledgers, probe statistics, RNG streams — must be bit-identical to the
+static schedule's.  These tests pin that contract on every backend,
+force a straggler to prove steals actually happen, and check the knob
+validation and observability surfaces.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bsp.message import PackedWorkerBatch
+from repro.core import PSgL
+from repro.core.listing import PSgLProgram
+from repro.exceptions import EngineError
+from repro.graph.generators import erdos_renyi
+from repro.obs import Tracer, straggler_report
+from repro.pattern import paper_patterns
+from repro.runtime.process import ProcessExecutor
+from repro.runtime.stealing import StealScheduler, StealTask, split_batch
+
+GRAPH = erdos_renyi(40, 0.25, seed=7)
+
+
+def run(pattern_name="PG3", steal=False, **kwargs):
+    kwargs.setdefault("wire", "columnar")
+    driver = PSgL(GRAPH, num_workers=4, steal=steal, **kwargs)
+    return driver.run(paper_patterns()[pattern_name], collect_instances=True)
+
+
+def signature(result):
+    return (
+        result.count,
+        sorted(map(tuple, result.instances)),
+        result.index_queries,
+        result.index_pruned,
+        dict(result.gpsi_by_vertex),
+        [
+            (step.superstep, step.worker_cost, step.worker_messages)
+            for step in result.ledger.steps
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Bit-identical parity: dynamic schedule vs static, every backend
+# ----------------------------------------------------------------------
+class TestParity:
+    @pytest.mark.parametrize("pattern_name", ["PG1", "PG3", "PG5"])
+    def test_serial_steal_matches_static(self, pattern_name):
+        static = run(pattern_name, steal=False)
+        stolen = run(pattern_name, steal=True, steal_tasks=16)
+        assert signature(stolen) == signature(static)
+        # One lane can never run a task off its owner's home lane.
+        assert stolen.steals == 0
+
+    @pytest.mark.parametrize("pattern_name", ["PG2", "PG3"])
+    def test_thread_steal_matches_static(self, pattern_name):
+        static = run(pattern_name, steal=False)
+        stolen = run(
+            pattern_name, steal=True, steal_tasks=16, backend="thread"
+        )
+        assert signature(stolen) == signature(static)
+
+    def test_process_steal_matches_static(self):
+        static = run("PG2", steal=False)
+        stolen = run(
+            "PG2", steal=True, steal_tasks=16, backend="process", procs=2
+        )
+        assert signature(stolen) == signature(static)
+
+    def test_spawn_steal_matches_static(self):
+        # spawn re-imports everything in the children: the strictest
+        # pickling path the steal tasks must survive.
+        static = run("PG2", steal=False)
+        backend = ProcessExecutor(procs=2, start_method="spawn")
+        stolen = run("PG2", steal=True, steal_tasks=16, backend=backend)
+        assert signature(stolen) == signature(static)
+
+    def test_steal_composes_with_native_kernel(self, monkeypatch):
+        from repro.core import kernels
+
+        if not kernels.HAVE_NUMBA:
+            monkeypatch.setattr(kernels, "ALLOW_INTERPRETED", True)
+        static = run("PG3", steal=False, kernel="numpy")
+        stolen = run(
+            "PG3", steal=True, steal_tasks=16,
+            backend="thread", kernel="native",
+        )
+        assert signature(stolen) == signature(static)
+
+
+# ----------------------------------------------------------------------
+# The point of the exercise: a forced straggler gets robbed
+# ----------------------------------------------------------------------
+class TestForcedStraggler:
+    def test_straggler_tasks_get_stolen_bit_identically(self, monkeypatch):
+        static = run("PG3", steal=False)
+
+        # Sleep-inject the pure half for one slice of the data vertices:
+        # whichever owner holds them becomes the straggler, and idle
+        # lanes (sleeps release the GIL) must steal its remaining tasks.
+        real_expand = PSgLProgram.expand_task
+
+        def slow_expand(self, vertex, columns, edge_index=None):
+            if vertex % 4 == 0:
+                time.sleep(0.002)
+            return real_expand(self, vertex, columns, edge_index)
+
+        monkeypatch.setattr(PSgLProgram, "expand_task", slow_expand)
+        tracer = Tracer()
+        stolen = run(
+            "PG3", steal=True, steal_tasks=8, backend="thread", trace=tracer
+        )
+        assert stolen.steals > 0
+        assert signature(stolen) == signature(static)
+
+        events = tracer.by_kind("steal")
+        assert len(events) == stolen.steals
+        for event in events:
+            assert event.data["rows"] > 0
+            assert "seq" in event.data and "lane" in event.data
+            # worker names the *victim* — the owner whose task migrated.
+            assert 0 <= event.worker < 4
+            assert event.data["lane"] != event.worker % 4
+
+        report = straggler_report(tracer)
+        assert "stolen away" in report
+        assert "ran off their owner's lane" in report
+
+    def test_static_run_emits_no_steal_events(self):
+        tracer = Tracer()
+        result = run("PG3", steal=False, backend="thread", trace=tracer)
+        assert result.steals == 0
+        assert tracer.by_kind("steal") == []
+
+
+# ----------------------------------------------------------------------
+# Knob validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_steal_requires_columnar_wire(self):
+        with pytest.raises(EngineError, match="columnar"):
+            run("PG2", steal=True, wire="object")
+
+    def test_steal_requires_strict_shuffle(self):
+        with pytest.raises(EngineError, match="shuffle|pipelined|strict"):
+            run("PG2", steal=True, shuffle="pipelined")
+
+    def test_steal_tasks_without_steal_rejected(self):
+        with pytest.raises(EngineError, match="steal_tasks"):
+            run("PG2", steal_tasks=64)
+
+    def test_steal_tasks_must_be_positive(self):
+        with pytest.raises(EngineError, match="steal_tasks"):
+            run("PG2", steal=True, steal_tasks=0)
+
+    def test_steal_needs_task_expansion_program(self):
+        # batch_expand=False leaves compute_columns monolithic — no pure
+        # half to relocate, so the engine refuses rather than silently
+        # running the static schedule.
+        with pytest.raises(EngineError, match="task"):
+            run("PG2", steal=True, batch_expand=False)
+
+
+# ----------------------------------------------------------------------
+# Scheduler internals
+# ----------------------------------------------------------------------
+def make_batch(vertices, counts, width=3):
+    """A minimal PackedWorkerBatch-shaped object for split_batch."""
+
+    class FakeColumns:
+        def __init__(self, lo, hi):
+            self.lo, self.hi = lo, hi
+
+        def row_slice(self, a, b):
+            return FakeColumns(self.lo + a, self.lo + b)
+
+        def __len__(self):
+            return self.hi - self.lo
+
+    batch = PackedWorkerBatch.__new__(PackedWorkerBatch)
+    batch.vertices = np.asarray(vertices, dtype=np.int64)
+    batch.counts = np.asarray(counts, dtype=np.int64)
+    batch.columns = FakeColumns(0, int(sum(counts)))
+    return batch
+
+
+class TestSplitBatch:
+    def test_cuts_at_vertex_boundaries(self):
+        batch = make_batch([10, 11, 12, 13], [3, 3, 3, 3])
+        tasks = split_batch(7, batch, task_rows=6)
+        assert [t.seq for t in tasks] == [0, 1]
+        assert all(t.owner == 7 for t in tasks)
+        assert [t.rows for t in tasks] == [6, 6]
+        assert [list(t.vertices) for t in tasks] == [[10, 11], [12, 13]]
+        # Row slices tile the batch contiguously.
+        assert [(t.columns.lo, t.columns.hi) for t in tasks] == [(0, 6), (6, 12)]
+
+    def test_oversized_vertex_is_one_task(self):
+        batch = make_batch([1, 2, 3], [2, 50, 2])
+        tasks = split_batch(0, batch, task_rows=8)
+        assert [list(t.vertices) for t in tasks] == [[1], [2], [3]]
+        assert [t.rows for t in tasks] == [2, 50, 2]
+
+    def test_single_task_when_under_budget(self):
+        batch = make_batch([4, 5], [2, 2])
+        tasks = split_batch(1, batch, task_rows=100)
+        assert len(tasks) == 1
+        assert tasks[0].rows == 4
+
+
+class TestStealScheduler:
+    @staticmethod
+    def task(owner, seq, rows):
+        return StealTask(
+            owner=owner, seq=seq,
+            vertices=np.zeros(1, np.int64), counts=np.ones(1, np.int64),
+            columns=None, rows=rows,
+        )
+
+    def test_home_first_then_steals_from_most_loaded(self):
+        tasks = {
+            0: [self.task(0, 0, 5), self.task(0, 1, 5)],
+            1: [self.task(1, 0, 100), self.task(1, 1, 100)],
+        }
+        sched = StealScheduler(tasks, lanes=2)
+        # Lane 0 drains its home owner front-to-back first...
+        first = sched.next_task(0)
+        assert (first.owner, first.seq) == (0, 0)
+        second = sched.next_task(0)
+        assert (second.owner, second.seq) == (0, 1)
+        # ...then steals from the back of the most-loaded victim.
+        steal = sched.next_task(0)
+        assert (steal.owner, steal.seq) == (1, 1)
+        assert sched.next_task(0).seq == 0
+        assert sched.next_task(0) is None
+
+    def test_victim_tie_breaks_on_lowest_owner(self):
+        tasks = {
+            1: [self.task(1, 0, 10)],
+            3: [self.task(3, 0, 10)],
+        }
+        sched = StealScheduler(tasks, lanes=2)
+        # Lane 0's homes (owners 1 % 2 != 0... owner 2k) are empty here:
+        # owners 1 and 3 both map to lane 1, so lane 0 must steal, and
+        # equal loads resolve to the lowest owner id.
+        assert sched.next_task(0).owner == 1
+        assert sched.next_task(0).owner == 3
