@@ -33,6 +33,7 @@ from ..obs.tracer import make_tracer
 from .aggregate import AggregatorRegistry
 from .message import ChunkedColumnarStore, ColumnarMessageStore, MessageStore
 from .metrics import CostLedger
+from .spill import SpillManager
 from .vertex_program import VertexProgram
 from .worker import Worker
 
@@ -168,6 +169,17 @@ class BSPEngine:
         superstep boundary; once set, the run raises
         :class:`~repro.exceptions.JobCancelled` (cooperative
         cancellation — teardown and tracing run normally).
+    spill_dir / memory_watermark_bytes:
+        The out-of-core spill plane (columnar wire only; see
+        :mod:`repro.bsp.spill` and ``docs/scale.md``).  Set together:
+        once a superstep's barrier store holds ``memory_watermark_bytes``
+        of resident message payload, further sealed chunks are evicted
+        to a per-superstep spill file under ``spill_dir`` and re-mapped
+        at delivery.  Results, ledgers and delivery order are
+        bit-identical to the in-memory plane; only where sealed chunks
+        wait for the barrier changes.  Spill volume is reported on the
+        ledger (``spill_chunks``/``spill_bytes``) and as
+        ``chunk_spill``/``chunk_map`` trace events.
     """
 
     def __init__(
@@ -190,6 +202,8 @@ class BSPEngine:
         superstep_budget: Optional[int] = None,
         wall_budget_seconds: Optional[float] = None,
         abort_event: Optional[Any] = None,
+        spill_dir: Optional[str] = None,
+        memory_watermark_bytes: Optional[int] = None,
     ):
         if partition.num_vertices != graph.num_vertices:
             raise EngineError(
@@ -255,6 +269,25 @@ class BSPEngine:
             raise EngineError(
                 "steal_tasks only applies to steal=True"
             )
+        if (spill_dir is None) != (memory_watermark_bytes is None):
+            raise EngineError(
+                "spill_dir and memory_watermark_bytes enable the disk "
+                "spill plane together; set both or neither"
+            )
+        if spill_dir is not None:
+            if wire != "columnar":
+                raise EngineError(
+                    "the spill plane seals packed columnar chunks and "
+                    "requires wire='columnar'; run wire='object' fully "
+                    "in memory"
+                )
+            if memory_watermark_bytes < 1:
+                raise EngineError(
+                    "memory_watermark_bytes must be >= 1, got "
+                    f"{memory_watermark_bytes}"
+                )
+        self.spill_dir = spill_dir
+        self.memory_watermark_bytes = memory_watermark_bytes
         self.kernel = kernel
         self.steal = steal
         self.steal_tasks = steal_tasks
@@ -325,6 +358,13 @@ class BSPEngine:
 
         executor = make_executor(self.backend, procs=self.procs)
         tracer = make_tracer(self.trace)
+        spill_mgr: Optional[SpillManager] = None
+        if self.spill_dir is not None:
+            spill_mgr = SpillManager(
+                self.spill_dir,
+                self.memory_watermark_bytes,
+                tracer if tracer.enabled else None,
+            )
         if tracer.enabled:
             tracer.meta.update(
                 backend=executor.name,
@@ -336,6 +376,10 @@ class BSPEngine:
                 tracer.meta["kernel"] = kernels.kernel_info(self.kernel)
             if self.steal:
                 tracer.meta["steal_tasks"] = self.steal_tasks
+            if spill_mgr is not None:
+                tracer.meta["memory_watermark_bytes"] = (
+                    self.memory_watermark_bytes
+                )
         executor.start(
             JobSpec(
                 program=program,
@@ -395,18 +439,37 @@ class BSPEngine:
                             where=f"superstep {superstep}",
                         )
                 ledger.begin_superstep(superstep)
+                spilled_before = (
+                    (spill_mgr.chunks_spilled, spill_mgr.bytes_spilled)
+                    if spill_mgr is not None
+                    else (0, 0)
+                )
+                spill_kwargs = (
+                    dict(
+                        spill=spill_mgr.for_superstep(superstep),
+                        watermark_bytes=spill_mgr.watermark_bytes,
+                    )
+                    if spill_mgr is not None
+                    else {}
+                )
                 if pipelined:
                     outbox = ChunkedColumnarStore(
-                        self.partition.owner_array, self.num_workers
+                        self.partition.owner_array,
+                        self.num_workers,
+                        **spill_kwargs,
                     )
                 elif self.wire == "columnar":
-                    outbox = ColumnarMessageStore()
+                    outbox = ColumnarMessageStore(**spill_kwargs)
                 else:
                     outbox = MessageStore(combiner)
                 inbound_per_worker = [0] * self.num_workers
 
                 build_started = perf_counter() if tracer.enabled else 0.0
                 batches = self._build_batches(active, inbox)
+                if spill_mgr is not None:
+                    # The previous superstep's messages are delivered;
+                    # nothing can re-map its spill file again.
+                    spill_mgr.prune(superstep)
                 build_ms = (
                     (perf_counter() - build_started) * 1000.0
                     if tracer.enabled
@@ -541,6 +604,13 @@ class BSPEngine:
                         barrier_extra["max_send_bytes"] = max(
                             (r.max_send_bytes for r in results), default=0
                         )
+                    if spill_mgr is not None:
+                        barrier_extra["spill_chunks"] = (
+                            spill_mgr.chunks_spilled - spilled_before[0]
+                        )
+                        barrier_extra["spill_bytes"] = (
+                            spill_mgr.bytes_spilled - spilled_before[1]
+                        )
                     tracer.emit(
                         "barrier",
                         superstep=superstep,
@@ -578,6 +648,16 @@ class BSPEngine:
             raise
         finally:
             executor.close()
+            if spill_mgr is not None:
+                # Recorded even on aborted runs: the straggler report and
+                # service metrics read these off the ledger, and summary()
+                # deliberately excludes them so spilled and in-memory
+                # ledgers still compare equal.
+                ledger.spill_chunks = spill_mgr.chunks_spilled
+                ledger.spill_bytes = spill_mgr.bytes_spilled
+                ledger.spill_chunks_mapped = spill_mgr.chunks_mapped
+                ledger.spill_bytes_mapped = spill_mgr.bytes_mapped
+                spill_mgr.close()
             if tracer.enabled:
                 tracer.emit(
                     "job",

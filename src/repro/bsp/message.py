@@ -413,28 +413,62 @@ class ColumnarMessageStore:
     a combiner.
     """
 
-    __slots__ = ("_chunks", "_count", "_dest", "_columns", "_groups")
+    __slots__ = (
+        "_chunks",
+        "_count",
+        "_dest",
+        "_columns",
+        "_groups",
+        "_spill",
+        "_watermark",
+        "_resident_bytes",
+    )
 
-    def __init__(self):
-        self._chunks: List[GpsiBatch] = []
+    def __init__(self, spill: Any = None, watermark_bytes: Optional[int] = None):
+        self._chunks: List[Any] = []
         self._count = 0
         self._dest: Optional[np.ndarray] = None
         self._columns: Any = None
         self._groups: Optional[Dict[int, np.ndarray]] = None
+        #: Optional :class:`repro.bsp.spill.SuperstepSpill`: outboxes
+        #: arriving past ``watermark_bytes`` of resident payload are
+        #: sealed to disk at merge time and re-mapped lazily at first
+        #: delivery, in their original merge slot — delivery order (and
+        #: therefore results) is unchanged.
+        self._spill = spill
+        self._watermark = watermark_bytes
+        self._resident_bytes = 0
 
     # -- barrier surface ------------------------------------------------
     def merge_batch(self, batch: GpsiBatch) -> None:
         """Append one worker's packed outbox (O(1), no decode)."""
         if len(batch) == 0:
             return
-        self._chunks.append(batch)
         self._count += len(batch)
+        if (
+            self._spill is not None
+            and self._resident_bytes + batch.nbytes > self._watermark
+        ):
+            sender = len(self._chunks)
+            ref = self._spill.spill(sender, 0, batch.dest, batch.columns)
+            self._chunks.append((sender, ref))
+            self._dest = self._columns = self._groups = None
+            return
+        self._resident_bytes += batch.nbytes
+        self._chunks.append(batch)
         self._dest = self._columns = self._groups = None
 
     def _merged(self) -> Tuple[np.ndarray, Any]:
         """Chunks concatenated in merge (= worker-id) order, cached."""
         if self._dest is None:
             psi = _psi()
+            for i, chunk in enumerate(self._chunks):
+                if isinstance(chunk, tuple):
+                    sender, ref = chunk
+                    dest, columns = self._spill.load(sender, 0, ref)
+                    # Replace in place: a later merge that invalidates the
+                    # cache must not re-map (and re-count) this chunk.
+                    self._chunks[i] = GpsiBatch(dest, columns)
             self._dest = (
                 np.concatenate([c.dest for c in self._chunks])
                 if self._chunks
@@ -582,12 +616,22 @@ class ChunkedColumnarStore:
         "_views",
         "_finalized",
         "_count",
+        "_spill",
+        "_watermark",
+        "_resident_bytes",
+        "_spilled",
         "wire_bytes",
         "chunks_merged",
         "max_chunk_bytes",
     )
 
-    def __init__(self, owner_of: np.ndarray, num_workers: int):
+    def __init__(
+        self,
+        owner_of: np.ndarray,
+        num_workers: int,
+        spill: Any = None,
+        watermark_bytes: Optional[int] = None,
+    ):
         self._owner_of = owner_of
         self._num_workers = num_workers
         self._lock = threading.Lock()
@@ -598,6 +642,15 @@ class ChunkedColumnarStore:
             [] for _ in range(num_workers)
         ]
         self._seqs: Dict[int, set] = {}
+        #: Optional :class:`repro.bsp.spill.SuperstepSpill`: chunks
+        #: arriving past ``watermark_bytes`` of resident payload are
+        #: sealed to disk at merge time (accounting unchanged) and
+        #: re-mapped at :meth:`finalize` under the same ``(sender, seq)``
+        #: tag, ahead of the order-restoring sort — bit-parity holds.
+        self._spill = spill
+        self._watermark = watermark_bytes
+        self._resident_bytes = 0
+        self._spilled: List[Tuple[int, int, Any]] = []
         #: Per destination worker, built lazily by ``take``:
         #: ``(dest_w, cols_w, {vertex: rows})``.
         self._views: Dict[int, Tuple[np.ndarray, Any, Dict[int, np.ndarray]]] = {}
@@ -638,6 +691,14 @@ class ChunkedColumnarStore:
             self.chunks_merged += 1
             if batch.nbytes > self.max_chunk_bytes:
                 self.max_chunk_bytes = batch.nbytes
+            if (
+                self._spill is not None
+                and self._resident_bytes + batch.nbytes > self._watermark
+            ):
+                ref = self._spill.spill(sender, seq, batch.dest, batch.columns)
+                self._spilled.append((sender, seq, ref))
+                return
+            self._resident_bytes += batch.nbytes
             self._chunk_dests.append((sender, seq, batch.dest))
             owner = self._owner_of[batch.dest]
             for w in np.unique(owner).tolist():
@@ -664,6 +725,19 @@ class ChunkedColumnarStore:
         with self._lock:
             if self._finalized:
                 return
+            # Spilled chunks rejoin here, under their merge-time tag:
+            # the (sender, seq) sort below cannot tell a mapped chunk
+            # from one that never left memory.
+            for sender, seq, ref in self._spilled:
+                dest, columns = self._spill.load(sender, seq, ref)
+                self._chunk_dests.append((sender, seq, dest))
+                owner = self._owner_of[dest]
+                for w in np.unique(owner).tolist():
+                    rows = np.flatnonzero(owner == w)
+                    self._pieces[w].append(
+                        (sender, seq, dest[rows], columns.take(rows))
+                    )
+            self._spilled = []
             for sender in sorted(self._seqs):
                 seqs = sorted(self._seqs[sender])
                 if seqs != list(range(len(seqs))):

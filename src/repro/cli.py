@@ -8,6 +8,7 @@ Subcommands
 ``stats``     degree statistics and the Property 1 skew report
 ``bench``     regenerate paper tables/figures (all or selected)
 ``serve``     run the resident subgraph-query service (docs/service.md)
+``convert``   stream an edge list into the binary ``.csrbin`` format
 
 Examples
 --------
@@ -15,6 +16,9 @@ Examples
 
     psgl count --pattern PG1 --dataset wikitalk --workers 16
     psgl count --pattern C5 --edge-list my_graph.txt --strategy WA,0.5
+    psgl convert soc-LiveJournal1.txt lj.csrbin
+    psgl count --pattern PG2 --csrbin lj.csrbin --backend process \\
+        --wire columnar --spill-dir /tmp/spill --memory-watermark-bytes 64000000
     psgl bench --experiments fig3 fig8 --scale 0.5 --out results/
     psgl serve --dataset wikitalk --port 8707
 
@@ -69,6 +73,11 @@ def _build_parser() -> argparse.ArgumentParser:
     source = count.add_mutually_exclusive_group(required=True)
     source.add_argument("--dataset", help="a registered synthetic analog")
     source.add_argument("--edge-list", help="path to a whitespace edge list")
+    source.add_argument(
+        "--csrbin",
+        help="path to a binary .csrbin graph (see `psgl convert`); "
+        "opened as memory-mapped views, nothing is copied into RAM",
+    )
     count.add_argument("--workers", type=int, default=8)
     count.add_argument(
         "--backend",
@@ -156,6 +165,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the straggler/imbalance report after the run",
     )
     count.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="out-of-core shuffle: spill sealed columnar chunks here once "
+        "the barrier store exceeds the watermark (columnar wire only; "
+        "set together with --memory-watermark-bytes)",
+    )
+    count.add_argument(
+        "--memory-watermark-bytes",
+        type=int,
+        default=None,
+        help="resident-bytes watermark for the barrier store before "
+        "chunks spill to --spill-dir (results stay bit-identical)",
+    )
+    count.add_argument(
         "--no-index", action="store_true", help="disable the bloom edge index"
     )
     count.add_argument(
@@ -165,10 +189,41 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="show the dataset registry (Table 1 analogs)")
     sub.add_parser("patterns", help="show the PG1-PG5 catalog")
 
+    convert = sub.add_parser(
+        "convert",
+        help="stream an edge list into the binary .csrbin graph format",
+    )
+    convert.add_argument("source", help="whitespace edge-list file to read")
+    convert.add_argument("target", help=".csrbin file to write")
+    convert.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="treat duplicate undirected edges as an error instead of "
+        "collapsing them",
+    )
+    convert.add_argument(
+        "--allow-self-loops",
+        action="store_true",
+        help="drop self loops instead of treating them as an error",
+    )
+    convert.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=None,
+        help="text bytes parsed per streaming chunk (default 16 MiB)",
+    )
+    convert.add_argument(
+        "--tmp-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for staging temp files (default: next to target)",
+    )
+
     stats = sub.add_parser("stats", help="degree statistics and skew report")
     stats_source = stats.add_mutually_exclusive_group(required=True)
     stats_source.add_argument("--dataset", help="a registered synthetic analog")
     stats_source.add_argument("--edge-list", help="path to an edge list")
+    stats_source.add_argument("--csrbin", help="path to a binary .csrbin graph")
     stats.add_argument("--scale", type=float, default=1.0)
 
     bench = sub.add_parser("bench", help="regenerate paper tables and figures")
@@ -219,6 +274,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_source = serve.add_mutually_exclusive_group(required=True)
     serve_source.add_argument("--dataset", help="a registered synthetic analog")
     serve_source.add_argument("--edge-list", help="path to an edge list")
+    serve_source.add_argument("--csrbin", help="path to a binary .csrbin graph")
     serve.add_argument("--scale", type=float, default=1.0)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -274,7 +330,34 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip per-job tracing (disables /jobs/<id>/trace)",
     )
+    serve.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="out-of-core shuffle for executed jobs: spill chunks here "
+        "past the watermark (jobs must request a columnar wire; set "
+        "together with --memory-watermark-bytes)",
+    )
+    serve.add_argument(
+        "--memory-watermark-bytes",
+        type=int,
+        default=None,
+        help="resident-bytes watermark before job shuffle chunks spill "
+        "to --spill-dir",
+    )
     return parser
+
+
+def _load_graph_source(args: argparse.Namespace):
+    """Resolve the ``--dataset``/``--edge-list``/``--csrbin`` source group."""
+    if args.dataset:
+        return load_dataset(args.dataset, args.scale)
+    if getattr(args, "csrbin", None):
+        from .graph.binfmt import load_mapped
+
+        return load_mapped(args.csrbin)
+    graph, _ = read_edge_list(args.edge_list)
+    return graph
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
@@ -282,10 +365,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         pattern = get_pattern(args.pattern)
     else:
         pattern = pattern_from_edges(args.pattern_edges)
-    if args.dataset:
-        graph = load_dataset(args.dataset, args.scale)
-    else:
-        graph, _ = read_edge_list(args.edge_list)
+    graph = _load_graph_source(args)
     tracer = Tracer() if (args.trace or args.trace_report) else None
     psgl = PSgL(
         graph,
@@ -303,6 +383,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         steal=args.steal,
         steal_tasks=args.steal_tasks,
+        spill_dir=args.spill_dir,
+        memory_watermark_bytes=args.memory_watermark_bytes,
         trace=tracer,
     )
     initial = None if args.initial_vertex is None else args.initial_vertex - 1
@@ -321,6 +403,11 @@ def _cmd_count(args: argparse.Namespace) -> int:
     print(f"kernel     : {result.kernel} (requested {args.kernel})")
     if args.steal:
         print(f"steals     : {result.steals}")
+    if args.spill_dir is not None:
+        print(
+            f"spilled    : {result.ledger.spill_chunks} chunk(s) / "
+            f"{result.ledger.spill_bytes:,} bytes past the watermark"
+        )
     print(f"wall time  : {result.wall_seconds:.3f}s")
     if tracer is not None and args.trace:
         path = Path(args.trace)
@@ -366,11 +453,35 @@ def _cmd_patterns(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    # Deferred import: keeps `psgl count --dataset ...` from paying for
+    # the converter machinery it never touches.
+    from .graph import binfmt
+
+    kwargs = {}
+    if args.chunk_bytes is not None:
+        kwargs["chunk_bytes"] = args.chunk_bytes
+    stats = binfmt.convert_edge_list(
+        args.source,
+        args.target,
+        dedup=not args.no_dedup,
+        allow_self_loops=args.allow_self_loops,
+        tmp_dir=args.tmp_dir,
+        **kwargs,
+    )
+    print(f"source     : {args.source}")
+    print(f"target     : {args.target} ({stats.output_bytes:,} bytes)")
+    print(f"vertices   : {stats.num_vertices:,}")
+    print(f"edges      : {stats.num_edges:,} (from {stats.raw_edges:,} input lines)")
+    if stats.duplicates_dropped:
+        print(f"dedup      : {stats.duplicates_dropped:,} duplicate edge(s) collapsed")
+    if stats.self_loops_dropped:
+        print(f"self loops : {stats.self_loops_dropped:,} dropped")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    if args.dataset:
-        graph = load_dataset(args.dataset, args.scale)
-    else:
-        graph, _ = read_edge_list(args.edge_list)
+    graph = _load_graph_source(args)
     report = skew_report(graph)
     avg = 2 * graph.num_edges / max(graph.num_vertices, 1)
     print(f"graph        : {graph}")
@@ -406,6 +517,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.dataset:
         print(f"loading dataset {args.dataset}@{args.scale} ...")
         context = GraphContext.from_dataset(args.dataset, args.scale)
+    elif args.csrbin:
+        print(f"mapping csrbin {args.csrbin} ...")
+        context = GraphContext.from_csrbin(args.csrbin)
     else:
         print(f"loading edge list {args.edge_list} ...")
         context = GraphContext.from_edge_list(args.edge_list)
@@ -422,6 +536,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         cache=ResultCache(max_bytes=args.cache_bytes),
         trace_jobs=not args.no_job_traces,
+        spill_dir=args.spill_dir,
+        memory_watermark_bytes=args.memory_watermark_bytes,
     )
 
     def _ready(server) -> None:
@@ -460,6 +576,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "count": _cmd_count,
+        "convert": _cmd_convert,
         "datasets": _cmd_datasets,
         "patterns": _cmd_patterns,
         "stats": _cmd_stats,

@@ -239,6 +239,46 @@ def _validate_columns(columns: GpsiColumns) -> None:
             raise CodecError("BLACK vertex has no mapping")
 
 
+def map_columns(buffer, offset: int = 0) -> Tuple[GpsiColumns, int]:
+    """Re-wrap an encoded batch as **views** into ``buffer``.
+
+    The zero-copy sibling of :func:`decode_columns` for trusted buffers
+    we wrote ourselves — spill files the engine re-maps at delivery.  The
+    returned columns alias ``buffer`` (read-only if the buffer is, e.g.
+    an ``np.memmap`` opened ``mode="r"``); callers that mutate must
+    ``.take`` first.  Structural validation is skipped: the bytes came
+    from :func:`encode_columns` in this same run and the container
+    (header, spill-file framing) is still checked.  Returns the columns
+    and the offset one past the batch.
+    """
+    view = memoryview(buffer)[offset:]
+    if len(view) < _BATCH_HEADER:
+        raise CodecError("batch shorter than the fixed header")
+    if bytes(view[0:2]) != _BATCH_MAGIC:
+        raise CodecError("bad batch magic")
+    if view[2] != _BATCH_VERSION:
+        raise CodecError(f"unsupported batch version {view[2]}")
+    k = view[3]
+    n = int.from_bytes(view[4:8], "little")
+    size = batch_encoded_size(n, k)
+    if len(view) < size:
+        raise CodecError(
+            f"batch truncated: {len(view)} bytes < expected {size} "
+            f"for n={n}, k={k}"
+        )
+    words = _black_words(k)
+    pos = offset + _BATCH_HEADER
+    mapping = np.frombuffer(buffer, dtype="<i8", count=n * k, offset=pos)
+    pos += n * k * 8
+    black = np.frombuffer(buffer, dtype="<u4", count=n * words, offset=pos)
+    pos += n * words * 4
+    next_vertex = np.frombuffer(buffer, dtype=np.uint8, count=n, offset=pos)
+    columns = GpsiColumns(
+        mapping.reshape(n, k), black.reshape(n, words), next_vertex
+    )
+    return columns, offset + size
+
+
 def encode_batch(gpsis: Sequence[Gpsi], k: int = None) -> bytes:
     """Serialise a whole batch of Gpsis to the columnar wire form."""
     return encode_columns(pack_gpsis(gpsis, k))

@@ -524,6 +524,12 @@ class PSgL:
         Optional ``threading.Event`` polled at superstep boundaries;
         setting it cancels the run with
         :class:`~repro.exceptions.JobCancelled`.
+    spill_dir / memory_watermark_bytes:
+        The out-of-core spill plane, forwarded to the BSP engine (set
+        together; ``wire="columnar"`` only): barrier chunks past the
+        watermark spill to per-superstep files under ``spill_dir`` and
+        re-map at delivery, with bit-identical results — see
+        :mod:`repro.bsp.spill` and ``docs/scale.md``.
     """
 
     def __init__(
@@ -554,6 +560,8 @@ class PSgL:
         superstep_budget: Optional[int] = None,
         wall_budget_seconds: Optional[float] = None,
         abort_event: Optional[threading.Event] = None,
+        spill_dir: Optional[str] = None,
+        memory_watermark_bytes: Optional[int] = None,
     ):
         self.graph = graph
         if ordered is not None and ordered.graph is not graph:
@@ -596,6 +604,8 @@ class PSgL:
         self.superstep_budget = superstep_budget
         self.wall_budget_seconds = wall_budget_seconds
         self.abort_event = abort_event
+        self.spill_dir = spill_dir
+        self.memory_watermark_bytes = memory_watermark_bytes
 
     # ------------------------------------------------------------------
     def run(
@@ -699,6 +709,8 @@ class PSgL:
             superstep_budget=self.superstep_budget,
             wall_budget_seconds=self.wall_budget_seconds,
             abort_event=self.abort_event,
+            spill_dir=self.spill_dir,
+            memory_watermark_bytes=self.memory_watermark_bytes,
         )
         bsp_result: BSPResult = engine.run(program)
         # The serial backend never collects state deltas, so pending

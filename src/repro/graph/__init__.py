@@ -1,7 +1,15 @@
 """Data-graph substrate: storage, ordering, generation, I/O, partitioning."""
 
-from .graph import Edge, Graph, normalize_edge
+from .graph import Edge, Graph, MappedCSR, normalize_edge
 from .ordered import OrderedGraph
+from .binfmt import (
+    ConvertStats,
+    CSRBinHeader,
+    convert_edge_list,
+    load_mapped,
+    read_header,
+    write_csrbin,
+)
 from .generators import (
     barabasi_albert,
     rmat,
@@ -27,8 +35,15 @@ from .stats import (
 __all__ = [
     "Edge",
     "Graph",
+    "MappedCSR",
     "normalize_edge",
     "OrderedGraph",
+    "ConvertStats",
+    "CSRBinHeader",
+    "convert_edge_list",
+    "load_mapped",
+    "read_header",
+    "write_csrbin",
     "barabasi_albert",
     "rmat",
     "chung_lu_power_law",

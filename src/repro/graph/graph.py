@@ -14,13 +14,33 @@ Adjacency is stored as one sorted ``numpy`` array per vertex, which gives
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import GraphError
 
 Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True, eq=False)
+class MappedCSR:
+    """Where a graph's CSR arrays live on disk (``.csrbin`` mapping).
+
+    Set by :func:`repro.graph.binfmt.load_mapped` on graphs whose
+    ``indptr``/``indices`` are ``np.memmap`` views.  The shared-memory
+    export (:class:`repro.runtime.shared_graph.SharedGraphExport`) reads
+    it to hand worker processes the *file* instead of copying the arrays
+    into ``/dev/shm``.  ``keepalive`` pins the underlying mapping for the
+    graph's lifetime and never crosses a process boundary — only the
+    path and offsets travel.
+    """
+
+    path: str
+    indptr_offset: int
+    indices_offset: int
+    keepalive: Any = field(default=None, repr=False)
 
 
 def normalize_edge(u: int, v: int) -> Edge:
@@ -41,7 +61,9 @@ class Graph:
         reciprocal edge and eliminating loops").
     """
 
-    __slots__ = ("_n", "_adj", "_degrees", "_m", "_hash", "_fingerprint")
+    __slots__ = (
+        "_n", "_adj", "_degrees", "_m", "_hash", "_fingerprint", "_mmap_spec"
+    )
 
     def __init__(self, num_vertices: int, edges: Iterable[Edge]):
         if num_vertices < 0:
@@ -65,9 +87,24 @@ class Graph:
         self._m = int(self._degrees.sum()) // 2
         self._hash = None
         self._fingerprint = None
+        self._mmap_spec: Optional[MappedCSR] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def mmap_spec(self) -> Optional[MappedCSR]:
+        """Backing ``.csrbin`` mapping, or ``None`` for in-memory graphs.
+
+        Non-None means the CSR arrays (and every adjacency slice) are
+        read-only views into a file on disk; the shared-memory runtime
+        then exports the file path instead of a ``/dev/shm`` copy.
+        """
+        return self._mmap_spec
+
+    @mmap_spec.setter
+    def mmap_spec(self, spec: Optional[MappedCSR]) -> None:
+        self._mmap_spec = spec
     # ------------------------------------------------------------------
     @property
     def num_vertices(self) -> int:
@@ -152,6 +189,7 @@ class Graph:
         graph._m = int(graph._degrees.sum()) // 2
         graph._hash = None
         graph._fingerprint = None
+        graph._mmap_spec = None
         return graph
 
     # ------------------------------------------------------------------

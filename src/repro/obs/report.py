@@ -83,6 +83,15 @@ def straggler_report(tracer: Tracer, top: int = 5) -> str:
             f"work stealing: {sum(stolen_tasks.values())} task(s) "
             f"({sum(stolen_rows.values()):,} rows) ran off their owner's lane"
         )
+    spill_events = tracer.by_kind("chunk_spill")
+    if spill_events:
+        spill_bytes = sum(int(e.data.get("bytes", 0)) for e in spill_events)
+        mapped = len(tracer.by_kind("chunk_map"))
+        lines.append(
+            f"spill plane: {len(spill_events)} chunk(s) / "
+            f"{spill_bytes:,} bytes evicted past the watermark, "
+            f"{mapped} re-mapped at delivery"
+        )
 
     lines.append("")
     lines.append(f"costliest supersteps (top {min(top, len(step_rows))}):")

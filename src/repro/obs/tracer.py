@@ -24,7 +24,10 @@ the runtime backends emit these kinds (schema ``repro.obs/v1``):
     width, start method, replica count) with the setup wall time.
 ``export``
     Shared-memory export sizes from the process backend: bytes per CSR
-    block (``indptr``/``indices``/``aux``) and the total.
+    block (``indptr``/``indices``/``aux``) and the total.  A graph
+    loaded via ``load_mapped`` reports ``mapped_file`` instead of
+    ``indptr``/``indices`` — workers re-map the ``.csrbin`` file and no
+    CSR copy enters ``/dev/shm``.
 ``superstep``
     One per superstep: wall time of the executor's ``run_superstep``
     call, the active-vertex count, the number of non-empty batches, and
@@ -57,6 +60,17 @@ the runtime backends emit these kinds (schema ``repro.obs/v1``):
     merged at the barrier with the step result).  ``chunk_deliver``
     events interleaving with still-running compute is the overlap the
     mode exists for.
+``chunk_spill``
+    Spill plane (``spill_dir`` set), one per sealed chunk evicted to
+    the superstep's spill file once the barrier store crossed
+    ``memory_watermark_bytes``: the sending worker, chunk ``seq``, and
+    the record's ``bytes``/``rows``.  The ``barrier`` event adds the
+    per-superstep totals (``spill_chunks``/``spill_bytes``).
+``chunk_map``
+    Spill plane, one per spilled chunk re-mapped at delivery (the
+    mirror of ``chunk_spill``; same coordinates).  Every spilled chunk
+    maps back exactly once — an imbalance means a superstep died
+    between spill and delivery.
 ``steal``
     Work-stealing scheduler (``steal=True``), one per task executed
     away from its owner's home lane: ``worker`` is the task's *owner*,

@@ -23,30 +23,53 @@ probe the same precomputed arrays the driver built instead of pickling a
 private copy each.  A :class:`SharedGraphHandle` carries the block names
 plus the lengths, and is what crosses the process boundary (a few dozen
 bytes).
+
+File-backed graphs
+------------------
+A graph loaded through :func:`repro.graph.binfmt.load_mapped` already
+*is* two contiguous on-disk arrays (``Graph.mmap_spec``).  Exporting
+such a graph skips the ``/dev/shm`` copy entirely: the handle carries
+the ``.csrbin`` path plus the two array offsets, and each worker maps
+the same file read-only — the page cache, not anonymous shared memory,
+is the single machine-wide copy, so an out-of-core graph never has to
+fit in RAM to run on the process backend.  Auxiliary arrays still ride
+a (small, O(n)) shm block either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import GraphError
 from ..graph.graph import Graph
 
 
 @dataclass(frozen=True)
 class SharedGraphHandle:
-    """Picklable pointer to an exported shared graph."""
+    """Picklable pointer to an exported shared graph.
 
-    indptr_name: str
-    indices_name: str
+    Exactly one of two transports is active: shm block names
+    (``indptr_name``/``indices_name``) for in-memory graphs, or a
+    ``.csrbin`` file path plus array offsets (``mmap_path``/...) for
+    file-backed graphs.
+    """
+
+    indptr_name: Optional[str]
+    indices_name: Optional[str]
     num_vertices: int
     num_indices: int
     aux_name: Optional[str] = None
     #: (array name, length) per auxiliary int64 array, in layout order.
     aux_specs: Tuple[Tuple[str, int], ...] = field(default=())
+    #: File-backed transport: the ``.csrbin`` path workers re-map.
+    mmap_path: Optional[str] = None
+    mmap_indptr_offset: int = 0
+    mmap_indices_offset: int = 0
 
 
 class SharedGraphExport:
@@ -58,20 +81,33 @@ class SharedGraphExport:
     """
 
     def __init__(self, graph: Graph, aux: Optional[Dict[str, np.ndarray]] = None):
-        indptr, indices = graph.to_csr()
-        self._shm_indptr = shared_memory.SharedMemory(
-            create=True, size=max(indptr.nbytes, 1)
-        )
-        self._shm_indices = shared_memory.SharedMemory(
-            create=True, size=max(indices.nbytes, 1)
-        )
-        np.ndarray(indptr.shape, dtype=np.int64, buffer=self._shm_indptr.buf)[
-            :
-        ] = indptr
-        if len(indices):
-            np.ndarray(
-                indices.shape, dtype=np.int64, buffer=self._shm_indices.buf
-            )[:] = indices
+        spec = graph.mmap_spec
+        self._shm_indptr: Optional[shared_memory.SharedMemory] = None
+        self._shm_indices: Optional[shared_memory.SharedMemory] = None
+        self._mapped_bytes = 0
+        num_indices = 0
+        if spec is not None:
+            # File-backed graph: ship the path, not the bytes.  Workers
+            # re-map the .csrbin read-only; the page cache is the shared
+            # copy.
+            num_indices = int(graph.degrees.sum())
+            self._mapped_bytes = (graph.num_vertices + 1 + num_indices) * 8
+        else:
+            indptr, indices = graph.to_csr()
+            num_indices = len(indices)
+            self._shm_indptr = shared_memory.SharedMemory(
+                create=True, size=max(indptr.nbytes, 1)
+            )
+            self._shm_indices = shared_memory.SharedMemory(
+                create=True, size=max(indices.nbytes, 1)
+            )
+            np.ndarray(indptr.shape, dtype=np.int64, buffer=self._shm_indptr.buf)[
+                :
+            ] = indptr
+            if len(indices):
+                np.ndarray(
+                    indices.shape, dtype=np.int64, buffer=self._shm_indices.buf
+                )[:] = indices
         self._shm_aux: Optional[shared_memory.SharedMemory] = None
         aux_name = None
         aux_specs: Tuple[Tuple[str, int], ...] = ()
@@ -92,28 +128,47 @@ class SharedGraphExport:
             aux_name = self._shm_aux.name
             aux_specs = tuple((name, len(arr)) for name, arr in arrays.items())
         self.handle = SharedGraphHandle(
-            indptr_name=self._shm_indptr.name,
-            indices_name=self._shm_indices.name,
+            indptr_name=(
+                self._shm_indptr.name if self._shm_indptr is not None else None
+            ),
+            indices_name=(
+                self._shm_indices.name if self._shm_indices is not None else None
+            ),
             num_vertices=graph.num_vertices,
-            num_indices=len(indices),
+            num_indices=num_indices,
             aux_name=aux_name,
             aux_specs=aux_specs,
+            mmap_path=spec.path if spec is not None else None,
+            mmap_indptr_offset=spec.indptr_offset if spec is not None else 0,
+            mmap_indices_offset=spec.indices_offset if spec is not None else 0,
         )
         self._closed = False
 
     def nbytes(self) -> int:
-        """Total shared bytes (the one copy all workers scan)."""
-        total = self._shm_indptr.size + self._shm_indices.size
+        """Total shared bytes (the one copy all workers scan).
+
+        For a file-backed graph this is the mapped CSR size — shared via
+        the page cache rather than ``/dev/shm``, but still the single
+        machine-wide footprint the trace reports.
+        """
+        total = self._mapped_bytes
+        if self._shm_indptr is not None:
+            total += self._shm_indptr.size
+        if self._shm_indices is not None:
+            total += self._shm_indices.size
         if self._shm_aux is not None:
             total += self._shm_aux.size
         return total
 
     def block_sizes(self) -> Dict[str, int]:
         """Per-block byte sizes (the trace's ``export`` event payload)."""
-        sizes = {
-            "indptr": self._shm_indptr.size,
-            "indices": self._shm_indices.size,
-        }
+        if self._shm_indptr is not None and self._shm_indices is not None:
+            sizes = {
+                "indptr": self._shm_indptr.size,
+                "indices": self._shm_indices.size,
+            }
+        else:
+            sizes = {"mapped_file": self._mapped_bytes}
         if self._shm_aux is not None:
             sizes["aux"] = self._shm_aux.size
         return sizes
@@ -123,9 +178,11 @@ class SharedGraphExport:
         if self._closed:
             return
         self._closed = True
-        blocks = [self._shm_indptr, self._shm_indices]
-        if self._shm_aux is not None:
-            blocks.append(self._shm_aux)
+        blocks = [
+            shm
+            for shm in (self._shm_indptr, self._shm_indices, self._shm_aux)
+            if shm is not None
+        ]
         for shm in blocks:
             try:
                 shm.close()
@@ -148,18 +205,37 @@ class AttachedSharedGraph:
     """
 
     def __init__(self, handle: SharedGraphHandle):
-        shm_indptr = _attach_untracked(handle.indptr_name)
-        shm_indices = _attach_untracked(handle.indices_name)
-        self._blocks: List[shared_memory.SharedMemory] = [
-            shm_indptr,
-            shm_indices,
-        ]
-        indptr = np.ndarray(
-            (handle.num_vertices + 1,), dtype=np.int64, buffer=shm_indptr.buf
-        )
-        indices = np.ndarray(
-            (handle.num_indices,), dtype=np.int64, buffer=shm_indices.buf
-        )
+        self._blocks: List[shared_memory.SharedMemory] = []
+        self._mmap = None
+        if handle.mmap_path is not None:
+            if not Path(handle.mmap_path).is_file():
+                raise GraphError(
+                    f"shared graph file {handle.mmap_path!r} does not exist "
+                    "(moved or deleted since export?)"
+                )
+            self._mmap = np.memmap(handle.mmap_path, dtype=np.uint8, mode="r")
+            indptr = np.frombuffer(
+                self._mmap,
+                dtype="<i8",
+                count=handle.num_vertices + 1,
+                offset=handle.mmap_indptr_offset,
+            )
+            indices = np.frombuffer(
+                self._mmap,
+                dtype="<i8",
+                count=handle.num_indices,
+                offset=handle.mmap_indices_offset,
+            )
+        else:
+            shm_indptr = _attach_untracked(handle.indptr_name)
+            shm_indices = _attach_untracked(handle.indices_name)
+            self._blocks = [shm_indptr, shm_indices]
+            indptr = np.ndarray(
+                (handle.num_vertices + 1,), dtype=np.int64, buffer=shm_indptr.buf
+            )
+            indices = np.ndarray(
+                (handle.num_indices,), dtype=np.int64, buffer=shm_indices.buf
+            )
         self.graph = Graph.from_csr(indptr, indices)
         self.aux: Dict[str, np.ndarray] = {}
         if handle.aux_name is not None:
@@ -184,6 +260,7 @@ class AttachedSharedGraph:
             except Exception:
                 pass
         self._blocks = []
+        self._mmap = None
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:

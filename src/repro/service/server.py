@@ -120,6 +120,17 @@ class GraphContext:
         graph, _ = read_edge_list(path)
         return cls(graph, name=str(path))
 
+    @classmethod
+    def from_csrbin(cls, path: str) -> "GraphContext":
+        """Memory-map a binary ``.csrbin`` graph (see ``psgl convert``).
+
+        The CSR arrays stay file-backed: process-backend jobs hand
+        workers the file path instead of a ``/dev/shm`` copy, so a
+        larger-than-RAM graph can serve queries."""
+        from ..graph.binfmt import load_mapped
+
+        return cls(load_mapped(path), name=str(path))
+
     def info(self) -> Dict[str, Any]:
         return {
             "name": self.name,
@@ -182,12 +193,18 @@ class SubgraphService:
         cache: Optional[ResultCache] = None,
         trace_jobs: bool = True,
         allow_test_hooks: bool = False,
+        spill_dir: Optional[str] = None,
+        memory_watermark_bytes: Optional[int] = None,
     ):
         self.context = context
         self.default_budget = default_budget or ResourceBudget()
         self.cache = cache if cache is not None else ResultCache()
         self.trace_jobs = trace_jobs
         self._allow_test_hooks = allow_test_hooks
+        # Out-of-core knobs applied to every executed job (the engine
+        # validates the pair + wire compatibility per run).
+        self.spill_dir = spill_dir
+        self.memory_watermark_bytes = memory_watermark_bytes
 
         self.registry = MetricsRegistry()
         self._m_jobs = self.registry.counter(
@@ -237,6 +254,14 @@ class SubgraphService:
         self._m_steals = self.registry.counter(
             "psgl_steals_total",
             "Steal-scheduler task migrations across all executed jobs.",
+        )
+        self._m_spill_chunks = self.registry.counter(
+            "psgl_spill_chunks_total",
+            "Shuffle chunks evicted to disk past the memory watermark.",
+        )
+        self._m_spill_bytes = self.registry.counter(
+            "psgl_spill_bytes_total",
+            "Bytes of shuffle chunks evicted to disk past the watermark.",
         )
         # Info-style gauge: one permanently-1 sample whose labels say what
         # kernel="auto" resolves to on this host (numba present or not).
@@ -388,6 +413,8 @@ class SubgraphService:
             trace=job.tracer,
             ordered=self.context.ordered,
             abort_event=job.abort_event,
+            spill_dir=self.spill_dir,
+            memory_watermark_bytes=self.memory_watermark_bytes,
             **budget.psgl_kwargs(),
         )
         result = driver.run(
@@ -395,6 +422,9 @@ class SubgraphService:
         )
         if result.steals:
             self._m_steals.inc(result.steals)
+        if result.ledger.spill_chunks:
+            self._m_spill_chunks.inc(result.ledger.spill_chunks)
+            self._m_spill_bytes.inc(result.ledger.spill_bytes)
         payload = self._payload(result, spec)
         key = cache_key(
             self.context.fingerprint,

@@ -61,6 +61,74 @@ class TestIO:
         assert g.num_edges == 2
 
 
+class TestParserKnobs:
+    """read_edge_list correctness knobs (dedup / self loops) and the
+    vectorized parser's parity with the scalar fallback."""
+
+    def test_duplicates_collapse_by_default(self):
+        g, _ = read_edge_list(io.StringIO("0 1\n1 0\n0 1\n1 2\n"))
+        assert g.num_edges == 2
+
+    def test_dedup_false_raises_naming_edge(self):
+        with pytest.raises(GraphFormatError, match=r"duplicate edge \(0, 1\)"):
+            read_edge_list(io.StringIO("0 1\n1 0\n"), dedup=False)
+
+    def test_dedup_false_clean_input_ok(self):
+        g, _ = read_edge_list(io.StringIO("0 1\n1 2\n"), dedup=False)
+        assert g.num_edges == 2
+
+    def test_self_loop_raises_with_exact_line(self):
+        with pytest.raises(GraphFormatError, match=r"self loop \(7, 7\) at line 3"):
+            read_edge_list(io.StringIO("0 1\n1 2\n7 7\n"))
+
+    def test_self_loop_line_counts_comments(self):
+        """Line numbers refer to the file, comments and blanks included."""
+        text = "# header\n\n0 1\n5 5\n"
+        with pytest.raises(GraphFormatError, match="at line 4"):
+            read_edge_list(io.StringIO(text))
+
+    def test_self_loops_dropped_when_allowed(self):
+        g, _ = read_edge_list(
+            io.StringIO("0 1\n5 5\n1 2\n"), allow_self_loops=True
+        )
+        assert g.num_edges == 2
+
+    def test_bad_token_names_line(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            read_edge_list(io.StringIO("0 1\nfoo bar\n"))
+
+    def test_short_line_names_line(self):
+        with pytest.raises(GraphFormatError, match="line 3"):
+            read_edge_list(io.StringIO("0 1\n1 2\n42\n"))
+
+    def test_tiny_chunks_match_default(self, tmp_path):
+        """Chunk boundaries (mid-line splits included) must not change
+        the parse: a 7-byte chunk equals the default 16 MiB chunk."""
+        from repro.graph.generators import erdos_renyi
+
+        g = erdos_renyi(40, 0.15, seed=9)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        ref, ref_map = read_edge_list(path)
+        tiny, tiny_map = read_edge_list(path, chunk_bytes=7)
+        assert tiny == ref
+        assert tiny_map == ref_map
+
+    def test_extra_columns_with_tiny_chunks(self, tmp_path):
+        """The scalar fallback (taken when a chunk has ragged columns)
+        must agree with the fast path's leniency."""
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 7.5\n1 2\n2 3 1.0 extra\n")
+        ref, _ = read_edge_list(path)
+        tiny, _ = read_edge_list(path, chunk_bytes=5)
+        assert ref.num_edges == 3
+        assert tiny == ref
+
+    def test_negative_id_raises(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_edge_list(io.StringIO("0 -1\n"))
+
+
 class TestDegreeStats:
     def test_histogram(self):
         g = star_graph(5)
